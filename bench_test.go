@@ -1,0 +1,454 @@
+package caribou
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one Benchmark per exhibit, reduced-scale configurations so a
+// full -bench=. pass completes in minutes) plus component and ablation
+// micro-benchmarks for the design choices called out in DESIGN.md. Run the
+// full-scale experiments with cmd/caribou-eval.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/dag"
+	"caribou/internal/eval"
+	"caribou/internal/executor"
+	"caribou/internal/forecast"
+	"caribou/internal/kvstore"
+	"caribou/internal/metrics"
+	"caribou/internal/montecarlo"
+	"caribou/internal/netmodel"
+	"caribou/internal/platform"
+	"caribou/internal/pricing"
+	"caribou/internal/pubsub"
+	"caribou/internal/region"
+	"caribou/internal/simclock"
+	"caribou/internal/solver"
+	"caribou/internal/trace"
+	"caribou/internal/workloads"
+)
+
+// quickWLs is the reduced workload set used by the macro benches.
+func quickWLs() []*workloads.Workload {
+	return []*workloads.Workload{workloads.Text2SpeechCensoring(), workloads.ImageProcessing()}
+}
+
+// --- One benchmark per table and figure ---
+
+func BenchmarkFig2CarbonTraces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := eval.Fig2(eval.Fig2Options{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 4 {
+			b.Fatalf("want 4 regions, got %d", len(series))
+		}
+	}
+}
+
+func BenchmarkTable1Workflows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := eval.Table1()
+		if len(rows) != 5 {
+			b.Fatalf("want 5 benchmarks, got %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig7GeoShifting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Fig7(eval.Fig7Options{
+			Workloads: quickWLs(),
+			Classes:   []workloads.InputClass{workloads.Small},
+			PerDay:    96,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig7(io.Discard, rows)
+	}
+}
+
+func BenchmarkFig8ComputeTxRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := eval.Fig8(eval.Fig8Options{
+			Workloads: quickWLs(),
+			Classes:   []workloads.InputClass{workloads.Small},
+			PerDay:    96,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig8(io.Discard, points)
+	}
+}
+
+func BenchmarkFig9EnergyFactorSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := eval.Fig9(eval.Fig9Options{
+			Workloads: quickWLs(),
+			Classes:   []workloads.InputClass{workloads.Small},
+			Factors:   []float64{1e-4, 1e-3, 1e-2},
+			PerDay:    96,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig9(io.Discard, points)
+	}
+}
+
+func BenchmarkFig10ToleranceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := eval.Fig10(eval.Fig10Options{
+			Tolerances: []float64{0, 5, 10},
+			PerDay:     96,
+			Seed:       int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig10(io.Discard, points)
+	}
+}
+
+func BenchmarkFig11AdaptiveWeek(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := eval.Fig11(eval.Fig11Options{
+			Days:   3,
+			PerDay: 250,
+			Seed:   int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig11(io.Discard, results)
+	}
+}
+
+func BenchmarkFig12OrchestratorOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Fig12(eval.Fig12Options{
+			Workloads:   quickWLs(),
+			Invocations: 40,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig12(io.Discard, rows)
+	}
+}
+
+func BenchmarkFig13SolveFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, bb, err := eval.Fig13(eval.Fig13Options{
+			Frequencies: []int{1, 7},
+			PerDay:      300,
+			Days:        7,
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig13(io.Discard, a, bb)
+	}
+}
+
+func BenchmarkTable2Taxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eval.PrintTable2(io.Discard, eval.Table2())
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+var benchStart = time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
+
+// benchInputs assembles a Metric Manager with a day of learned data for
+// the Text2Speech workflow.
+func benchInputs(b *testing.B) (*metrics.Manager, *montecarlo.Estimator) {
+	b.Helper()
+	wl := workloads.Text2SpeechCensoring()
+	cat, err := region.NorthAmerica().Subset(region.EvaluationFour())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := carbon.NewSyntheticSource(1, benchStart.Add(-8*24*time.Hour), benchStart.Add(2*24*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := netmodel.New(cat)
+	mm := metrics.New(wl.DAG, region.USEast1, cat, net, src, pricing.DefaultBook())
+
+	sched := simclock.New(benchStart)
+	p, err := platform.New(platform.Options{Sched: sched, Catalogue: cat, Net: net, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := executor.New(executor.Options{
+		Platform: p, Workload: wl, Home: region.USEast1, Seed: 1,
+		OnComplete: func(r *platform.InvocationRecord) { mm.Ingest(r) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.DeployHome(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		eng.InvokeAt(benchStart.Add(time.Duration(i)*5*time.Minute), workloads.Small, nil)
+	}
+	sched.Run()
+	if err := mm.RefreshForecasts(benchStart.Add(24 * time.Hour)); err != nil {
+		b.Fatal(err)
+	}
+	return mm, montecarlo.New(mm, carbon.BestCase(), 1)
+}
+
+func BenchmarkMonteCarloEstimate(b *testing.B) {
+	mm, est := benchInputs(b)
+	plan := dag.NewHomePlan(mm.DAG(), region.USEast1)
+	at := benchStart.Add(25 * time.Hour)
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(plan, at, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchSolver(b *testing.B, mm *metrics.Manager, est *montecarlo.Estimator) *solver.Solver {
+	b.Helper()
+	s, err := solver.New(solver.Config{
+		Inputs: mm, Estimator: est,
+		Objective: solver.Objective{
+			Priority:   solver.PriorityCarbon,
+			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSolverHBSS measures one single-hour HBSS solve — the §9.7 unit
+// whose 24x repetition forms a full DP generation.
+func BenchmarkSolverHBSS(b *testing.B) {
+	mm, est := benchInputs(b)
+	s := newBenchSolver(b, mm, est)
+	at := benchStart.Add(25 * time.Hour)
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveOne(at, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverCoarse is the O(|R|) single-region ablation baseline.
+func BenchmarkSolverCoarse(b *testing.B) {
+	mm, est := benchInputs(b)
+	s := newBenchSolver(b, mm, est)
+	at := benchStart.Add(25 * time.Hour)
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveCoarse(at, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolver24Hourly is the full daily plan generation (24 solves),
+// the unit the paper reports at ~276 s with its Go Monte Carlo engine.
+func BenchmarkSolver24Hourly(b *testing.B) {
+	mm, est := benchInputs(b)
+	s := newBenchSolver(b, mm, est)
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorInvocation(b *testing.B) {
+	wl := workloads.Text2SpeechCensoring()
+	cat := region.NorthAmerica()
+	sched := simclock.New(benchStart)
+	p, err := platform.New(platform.Options{Sched: sched, Catalogue: cat, Net: netmodel.New(cat), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := 0
+	eng, err := executor.New(executor.Options{
+		Platform: p, Workload: wl, Home: region.USEast1, Seed: 1,
+		OnComplete: func(*platform.InvocationRecord) { done++ },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.DeployHome(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.InvokeAt(sched.Now().Add(time.Minute), workloads.Small, nil)
+		sched.Run()
+	}
+	if done != b.N {
+		b.Fatalf("completed %d of %d", done, b.N)
+	}
+}
+
+func BenchmarkHoltWintersFit(b *testing.B) {
+	src, err := carbon.NewSyntheticSource(1, benchStart.Add(-8*24*time.Hour), benchStart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	series, err := src.Hourly("US-CAL-CISO", benchStart.Add(-7*24*time.Hour), benchStart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forecast.Fit(series, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStoreUpdate(b *testing.B) {
+	kv := kvstore.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv.Update("sync/bench", func(cur []byte, exists bool) ([]byte, bool) {
+			return append(cur[:0], 'x'), true
+		})
+	}
+}
+
+func BenchmarkPubSubRoundTrip(b *testing.B) {
+	sched := simclock.New(benchStart)
+	broker := pubsub.NewBroker(sched, nil, pubsub.Config{}, simclock.NewRand(1))
+	got := 0
+	broker.Subscribe("t", func(pubsub.Message) error { got++; return nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := broker.Publish("t", []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+		sched.Run()
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(trace.AzureP5(), benchStart, benchStart.Add(24*time.Hour), int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCarbonAccounting(b *testing.B) {
+	mm, _ := benchInputs(b)
+	recs := mm.Records()
+	if len(recs) == 0 {
+		b.Fatal("no records")
+	}
+	cat, err := region.NorthAmerica().Subset(region.EvaluationFour())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := carbon.NewSyntheticSource(1, benchStart.Add(-8*24*time.Hour), benchStart.Add(2*24*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := carbon.WorstCase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if _, _, err := r.CarbonGrams(src, cat, tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension and ablation benches ---
+
+func BenchmarkExtGlobalShifting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.ExtGlobal(quickWLs(), int64(i+1), 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkExtTemporalShifting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.ExtTemporal(quickWLs(), int64(i+1), 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkAblationSolverStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.AblationSolver(int64(i+1), 96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkAblationForecastStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.AblationForecast(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkMarginalCarbonSignal(b *testing.B) {
+	src, err := carbon.NewSyntheticSource(1, benchStart, benchStart.Add(24*time.Hour))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mci := carbon.NewMarginalSource(src, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mci.At("US-MIDA-PJM", benchStart.Add(time.Duration(i%24)*time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

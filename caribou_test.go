@@ -1,0 +1,322 @@
+package caribou
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorkflowBuilderValidation(t *testing.T) {
+	// Empty workflow.
+	wf := NewWorkflow("empty", "1")
+	if _, err := wf.compile(); err == nil {
+		t.Error("want error for empty workflow")
+	}
+	// Empty function name.
+	wf = NewWorkflow("bad", "1")
+	wf.Function("", FunctionConfig{})
+	if _, err := wf.compile(); err == nil {
+		t.Error("want error for empty function name")
+	}
+	// Edge to unknown function.
+	wf = NewWorkflow("bad2", "1")
+	wf.Function("a", FunctionConfig{})
+	wf.Edge("a", "zz", Payload{})
+	if _, err := wf.compile(); err == nil {
+		t.Error("want error for unknown edge target")
+	}
+	// Cycle.
+	wf = NewWorkflow("cyc", "1")
+	wf.Function("a", FunctionConfig{}).Function("b", FunctionConfig{})
+	wf.Edge("a", "b", Payload{})
+	wf.Edge("b", "a", Payload{})
+	if _, err := wf.compile(); err == nil {
+		t.Error("want error for cycle")
+	}
+}
+
+func TestWorkflowCompileMapsFields(t *testing.T) {
+	wf := NewWorkflow("mapped", "0.9")
+	wf.Function("a", FunctionConfig{
+		MemoryMB:       2048,
+		AllowedRegions: []string{"aws:us-east-1"},
+		Work: Work{
+			SmallSeconds: 1.5, LargeSeconds: 4, CPUUtil: 0.85,
+		},
+	})
+	wf.Function("b", FunctionConfig{
+		Work: Work{SmallSeconds: 2, OutputSmallBytes: 5e3, OutputLargeBytes: 9e3},
+	})
+	wf.ConditionalEdge("a", "b", 0.4, Payload{SmallBytes: 100, LargeBytes: 200})
+	wl, err := wf.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Name != "mapped" || wl.DAG.Len() != 2 {
+		t.Fatalf("compiled %s with %d stages", wl.Name, wl.DAG.Len())
+	}
+	na, _ := wl.DAG.Node("a")
+	if na.MemoryMB != 2048 {
+		t.Errorf("memory = %v", na.MemoryMB)
+	}
+	if len(na.Constraint.AllowedRegions) != 1 {
+		t.Errorf("constraint = %+v", na.Constraint)
+	}
+	edges := wl.DAG.Out("a")
+	if len(edges) != 1 || !edges[0].Conditional || edges[0].Probability != 0.4 {
+		t.Errorf("edge = %+v", edges)
+	}
+	if wl.Bytes("a", "b", "small") != 100 || wl.Bytes("a", "b", "large") != 200 {
+		t.Error("payload sizes lost")
+	}
+	if wl.OutputBytes["b"] == nil || wl.OutputBytes["b"]["small"] != 5e3 {
+		t.Error("output bytes lost")
+	}
+	// LargeSeconds defaults to SmallSeconds; CPUUtil defaults applied.
+	pb := wl.Nodes["b"]
+	if pb.MeanDurationSec["large"] != 2 || pb.CPUUtil != 0.7 {
+		t.Errorf("profile defaults: %+v", pb)
+	}
+	if wf.Name() != "mapped" || wf.Version() != "0.9" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestBenchmarkWorkflows(t *testing.T) {
+	wf, err := Benchmark("dna-visualization")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := wf.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Name != "dna-visualization" {
+		t.Errorf("name = %s", wl.Name)
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+}
+
+func newTestClient(t *testing.T, days int) *Client {
+	t.Helper()
+	c, err := NewClient(ClientConfig{
+		Seed: 5,
+		End:  DefaultEvaluationStart.Add(time.Duration(days) * 24 * time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func simpleWorkflow() *Workflow {
+	wf := NewWorkflow("simple", "1")
+	wf.Function("work", FunctionConfig{
+		Work: Work{SmallSeconds: 1.0, LargeSeconds: 2.0, CPUUtil: 0.8, OutputSmallBytes: 1e4, OutputLargeBytes: 1e4},
+	})
+	return wf
+}
+
+func TestDeployAndRunEndToEnd(t *testing.T) {
+	c := newTestClient(t, 1)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.InvokeEvery(10*time.Minute, 100, SmallInput)
+	c.Run()
+	rep, err := app.Report(BestCaseTransmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invocations != 100 || rep.Succeeded != 100 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.MeanCarbonGrams <= 0 || rep.MeanCostUSD <= 0 || rep.MeanServiceSeconds <= 0 {
+		t.Errorf("metrics missing: %+v", rep)
+	}
+	if rep.P95ServiceSeconds < rep.MeanServiceSeconds {
+		t.Errorf("p95 %v < mean %v", rep.P95ServiceSeconds, rep.MeanServiceSeconds)
+	}
+	if s := rep.String(); !strings.Contains(s, "simple") {
+		t.Errorf("report string = %q", s)
+	}
+}
+
+func TestReportWithoutInvocationsErrors(t *testing.T) {
+	c := newTestClient(t, 1)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Report(BestCaseTransmission); err == nil {
+		t.Error("want error with no completed invocations")
+	}
+}
+
+func TestManualSolveMovesWork(t *testing.T) {
+	c := newTestClient(t, 2)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{
+		Priority:            OptimizeCarbon,
+		LatencyTolerancePct: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := app.Plans(); p[0] != "" {
+		t.Error("plans before solve should be empty")
+	}
+	app.InvokeEvery(10*time.Minute, 144, SmallInput)
+	c.RunUntil(DefaultEvaluationStart.Add(24 * time.Hour))
+	if err := app.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	plans := app.Plans()
+	moved := false
+	for _, p := range plans {
+		if p == "" {
+			t.Fatal("missing hourly plan")
+		}
+		if strings.Contains(p, "ca-central-1") {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("solve never considered the green region")
+	}
+	app.InvokeEvery(10*time.Minute, 144, SmallInput)
+	c.Run()
+	rep, err := app.Report(BestCaseTransmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RegionsUsed) < 2 {
+		t.Errorf("regions used = %v, want offloading", rep.RegionsUsed)
+	}
+}
+
+func TestComplianceConstraintInPublicAPI(t *testing.T) {
+	c := newTestClient(t, 2)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{
+		Priority:         OptimizeCarbon,
+		AllowedCountries: []string{"US"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.InvokeEvery(10*time.Minute, 144, SmallInput)
+	c.RunUntil(DefaultEvaluationStart.Add(24 * time.Hour))
+	if err := app.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range app.Plans() {
+		if strings.Contains(p, "ca-central-1") {
+			t.Fatalf("US-only workflow planned into Canada: %s", p)
+		}
+	}
+}
+
+func TestAdaptiveDeployment(t *testing.T) {
+	c := newTestClient(t, 3)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{
+		Priority:            OptimizeCarbon,
+		LatencyTolerancePct: 25,
+		Adaptive:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.InvokeTrace(300); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	rep, err := app.Report(WorstCaseTransmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeploymentPlanSolves == 0 {
+		t.Error("adaptive manager never solved")
+	}
+	if rep.OverheadCarbonGrams <= 0 {
+		t.Error("overhead not reported")
+	}
+	if rep.Invocations < 600 {
+		t.Errorf("invocations = %d, want ~900", rep.Invocations)
+	}
+}
+
+func TestClientAccessors(t *testing.T) {
+	c := newTestClient(t, 1)
+	if len(c.Regions()) != 4 {
+		t.Errorf("regions = %v", c.Regions())
+	}
+	if !c.Now().Equal(DefaultEvaluationStart) {
+		t.Errorf("now = %v", c.Now())
+	}
+	if !c.End().Equal(DefaultEvaluationStart.Add(24 * time.Hour)) {
+		t.Errorf("end = %v", c.End())
+	}
+	c2, err := NewClient(ClientConfig{Regions: []string{"aws:us-east-1", "aws:ca-central-1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Regions()) != 2 {
+		t.Errorf("restricted regions = %v", c2.Regions())
+	}
+	if _, err := NewClient(ClientConfig{Regions: []string{"aws:nowhere"}}); err == nil {
+		t.Error("want error for unknown region")
+	}
+}
+
+func TestDeployUnknownHomeRegion(t *testing.T) {
+	c := newTestClient(t, 1)
+	if _, err := c.Deploy(simpleWorkflow(), DeploymentConfig{HomeRegion: "aws:nowhere"}); err == nil {
+		t.Error("want error for unknown home region")
+	}
+}
+
+func TestInvokeAtAndInvoke(t *testing.T) {
+	c := newTestClient(t, 1)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Invoke(SmallInput); err != nil {
+		t.Fatal(err)
+	}
+	app.InvokeAt(DefaultEvaluationStart.Add(time.Hour), LargeInput)
+	c.Run()
+	rep, err := app.Report(BestCaseTransmission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invocations != 2 {
+		t.Errorf("invocations = %d", rep.Invocations)
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	c := newTestClient(t, 2)
+	app, err := c.Deploy(simpleWorkflow(), DeploymentConfig{
+		Priority:            OptimizeCarbon,
+		LatencyTolerancePct: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := app.DOT(-1)
+	if !strings.Contains(plain, "digraph") || strings.Contains(plain, "cluster") {
+		t.Errorf("pre-solve DOT = %q", plain)
+	}
+	app.InvokeEvery(10*time.Minute, 144, SmallInput)
+	c.RunUntil(DefaultEvaluationStart.Add(24 * time.Hour))
+	if err := app.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	clustered := app.DOT(12)
+	if !strings.Contains(clustered, "subgraph cluster_0") {
+		t.Errorf("post-solve DOT lacks clusters:\n%s", clustered)
+	}
+}

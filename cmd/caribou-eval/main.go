@@ -1,0 +1,288 @@
+// Command caribou-eval regenerates every table and figure of the paper's
+// evaluation (§9) on the simulated substrate.
+//
+// Usage:
+//
+//	caribou-eval [-quick] [-seed N] <experiment>
+//
+// where <experiment> is one of: fig2, table1, fig7, fig8, fig9, fig10,
+// fig11, fig12, fig13, table2, all. The -quick flag shrinks workload
+// counts and trace volumes for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"caribou/internal/eval"
+	"caribou/internal/workloads"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload set and trace volume")
+	plot := flag.Bool("plot", false, "also render terminal charts of the figure shapes")
+	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	seed := flag.Int64("seed", 17, "experiment seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if err := run(name, runOpts{quick: *quick, plot: *plot, csvDir: *csvDir, seed: *seed}); err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-eval %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+// quickPerDay shrinks learning-day traffic under -quick.
+func quickPerDay(quick bool) int {
+	if quick {
+		return 96
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] <experiment>
+
+experiments:
+  fig2    grid carbon intensity of the four evaluation regions
+  table1  benchmark workflow structures
+  fig7    carbon normalized to us-east-1: coarse vs fine strategies
+  fig8    normalized carbon vs execution/transmission carbon ratio
+  fig9    geomean normalized carbon vs transmission energy factor
+  fig10   carbon and relative time vs runtime tolerance
+  fig11   week-long adaptive operation (Text2Speech, Azure-style trace)
+  fig12   orchestrator overhead: Step Functions vs SNS vs Caribou
+  fig13   solve-frequency sweep and forecast quality
+  table2  framework capability taxonomy
+  all     everything above, in order
+
+extensions and ablations (beyond the paper's exhibits):
+  ext-global      fine-grained shifting over a global region catalogue
+  ext-temporal    temporal vs geospatial vs combined shifting
+  ext-signal      ACI vs MCI carbon-signal sensitivity
+  ext-shift       input-distribution shift adaptation
+  ablate-solver   HBSS/exhaustive vs coarse single-region solving
+  ablate-forecast Holt-Winters vs naive persistence forecasting
+  ablate-bench    benchmarking-traffic fraction sweep
+`)
+}
+
+type runOpts struct {
+	quick  bool
+	plot   bool
+	csvDir string
+	seed   int64
+}
+
+// writeCSV writes rows to <csvDir>/<name>.csv when -csv is set.
+func writeCSV(opts runOpts, name string, rows interface{}) error {
+	if opts.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(opts.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(opts.csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return eval.WriteCSV(f, rows)
+}
+
+func run(name string, opts runOpts) error {
+	quick, plot, seed := opts.quick, opts.plot, opts.seed
+	w := os.Stdout
+	started := time.Now()
+	defer func() { fmt.Fprintf(w, "\n[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond)) }()
+
+	var quickWLs []*workloads.Workload
+	var quickClasses []workloads.InputClass
+	if quick {
+		quickWLs = []*workloads.Workload{workloads.Text2SpeechCensoring(), workloads.ImageProcessing()}
+		quickClasses = []workloads.InputClass{workloads.Small}
+	}
+
+	switch name {
+	case "fig2":
+		series, err := eval.Fig2(eval.Fig2Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		eval.PrintFig2(w, series)
+		if plot {
+			eval.PlotFig2(w, series)
+		}
+		stats, err := eval.Fig2Stats(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nEvaluation-week averages (gCO2eq/kWh): %v\n", stats)
+	case "table1":
+		eval.PrintTable1(w, eval.Table1())
+	case "table2":
+		eval.PrintTable2(w, eval.Table2())
+	case "fig7":
+		rows, err := eval.Fig7(eval.Fig7Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses})
+		if err != nil {
+			return err
+		}
+		eval.PrintFig7(w, rows)
+		if err := writeCSV(opts, "fig7", rows); err != nil {
+			return err
+		}
+		if plot {
+			eval.PlotFig7(w, rows)
+		}
+	case "fig8":
+		points, err := eval.Fig8(eval.Fig8Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses})
+		if err != nil {
+			return err
+		}
+		eval.PrintFig8(w, points)
+		if err := writeCSV(opts, "fig8", points); err != nil {
+			return err
+		}
+	case "fig9":
+		opt := eval.Fig9Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses}
+		if quick {
+			opt.Factors = []float64{1e-4, 1e-3, 1e-2}
+		}
+		points, err := eval.Fig9(opt)
+		if err != nil {
+			return err
+		}
+		eval.PrintFig9(w, points)
+		if err := writeCSV(opts, "fig9", points); err != nil {
+			return err
+		}
+		if plot {
+			eval.PlotFig9(w, points)
+		}
+	case "fig10":
+		opt := eval.Fig10Options{Seed: seed}
+		if quick {
+			opt.Tolerances = []float64{0, 5, 10}
+		}
+		points, err := eval.Fig10(opt)
+		if err != nil {
+			return err
+		}
+		eval.PrintFig10(w, points)
+		if err := writeCSV(opts, "fig10", points); err != nil {
+			return err
+		}
+	case "fig11":
+		opt := eval.Fig11Options{Seed: seed}
+		if quick {
+			opt.Days = 3
+			opt.PerDay = 300
+		}
+		results, err := eval.Fig11(opt)
+		if err != nil {
+			return err
+		}
+		eval.PrintFig11(w, results)
+		if plot {
+			eval.PlotFig11(w, results)
+		}
+	case "fig12":
+		rows, err := eval.Fig12(eval.Fig12Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses})
+		if err != nil {
+			return err
+		}
+		eval.PrintFig12(w, rows)
+		if err := writeCSV(opts, "fig12", rows); err != nil {
+			return err
+		}
+	case "fig13":
+		opt := eval.Fig13Options{Seed: seed}
+		if quick {
+			opt.Frequencies = []int{1, 4, 7}
+			opt.PerDay = 400
+			opt.Days = 7
+		}
+		a, b, err := eval.Fig13(opt)
+		if err != nil {
+			return err
+		}
+		eval.PrintFig13(w, a, b)
+		if err := writeCSV(opts, "fig13a", a); err != nil {
+			return err
+		}
+		if err := writeCSV(opts, "fig13b", b); err != nil {
+			return err
+		}
+		if plot {
+			eval.PlotFig13b(w, b)
+		}
+	case "ext-global":
+		rows, err := eval.ExtGlobal(quickWLs, seed, quickPerDay(quick))
+		if err != nil {
+			return err
+		}
+		eval.PrintExtGlobal(w, rows)
+	case "ext-temporal":
+		rows, err := eval.ExtTemporal(quickWLs, seed, quickPerDay(quick))
+		if err != nil {
+			return err
+		}
+		eval.PrintExtTemporal(w, rows)
+	case "ext-signal":
+		rows, err := eval.ExtSignal(quickWLs, seed, quickPerDay(quick))
+		if err != nil {
+			return err
+		}
+		eval.PrintExtSignal(w, rows)
+	case "ext-shift":
+		opt := eval.ExtShiftOptions{Seed: seed}
+		if quick {
+			opt.Days = 4
+			opt.PerDay = 120
+		}
+		rows, err := eval.ExtShift(opt)
+		if err != nil {
+			return err
+		}
+		eval.PrintExtShift(w, rows)
+	case "ablate-solver":
+		rows, err := eval.AblationSolver(seed, quickPerDay(quick))
+		if err != nil {
+			return err
+		}
+		eval.PrintAblationSolver(w, rows)
+	case "ablate-forecast":
+		rows, err := eval.AblationForecast(seed)
+		if err != nil {
+			return err
+		}
+		eval.PrintAblationForecast(w, rows)
+	case "ablate-bench":
+		rows, err := eval.AblationBenchTraffic(seed, quickPerDay(quick))
+		if err != nil {
+			return err
+		}
+		eval.PrintAblationBenchTraffic(w, rows)
+	case "all":
+		for _, n := range []string{
+			"fig2", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table2",
+			"ext-global", "ext-temporal", "ext-signal", "ext-shift", "ablate-solver", "ablate-forecast", "ablate-bench",
+		} {
+			fmt.Fprintf(w, "\n===== %s =====\n", n)
+			if err := run(n, opts); err != nil {
+				return err
+			}
+		}
+	default:
+		usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Command caribou is the deployment-utility CLI (§6.1, §8): it deploys a
+// benchmark workflow to the simulated multi-region cloud, runs traffic
+// against it, solves carbon-optimal deployment plans, and reports
+// carbon/cost/latency — the Go analogue of the paper's `caribou` Python
+// CLI.
+//
+// Usage:
+//
+//	caribou list
+//	caribou run [flags] <workflow>
+//	caribou solve [flags] <workflow>
+//	caribou regions
+//
+// `run` deploys the workflow at its home region, drives a trace through
+// it (adaptively re-deploying when -adaptive is set), and prints the
+// final report under both transmission scenarios. `solve` prints the 24
+// hourly deployment plans Caribou would generate after a day of learning.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	caribou "caribou"
+	"caribou/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = list()
+	case "regions":
+		err = regions()
+	case "run":
+		err = run(args)
+	case "solve":
+		err = solve(args)
+	case "describe":
+		err = describe(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: caribou <command> [flags]
+
+commands:
+  list            list the built-in benchmark workflows
+  regions         list available regions
+  run <wf>        deploy and drive a workflow, then report
+  solve <wf>      print the hourly deployment plans after a learning day
+  describe <wf>   print the workflow DAG in Graphviz DOT format
+
+run/solve flags:
+  -home <region>      home region (default aws:us-east-1)
+  -days <n>           experiment days (default 2)
+  -per-day <n>        invocations per day (default 400)
+  -adaptive           enable the token-bucket Deployment Manager (run)
+  -tolerance <pct>    end-to-end latency tolerance (default 10)
+  -priority <p>       carbon|cost|latency (default carbon)
+  -seed <n>           simulation seed (default 1)
+`)
+}
+
+func list() error {
+	fmt.Println("Built-in benchmark workflows (Table 1):")
+	for _, wl := range workloads.All() {
+		fmt.Printf("  %-24s %d stages, sync=%v cond=%v — %s\n",
+			wl.Name, wl.DAG.Len(), len(wl.DAG.SyncNodes()) > 0, wl.DAG.HasConditional(), wl.Description)
+	}
+	return nil
+}
+
+func regions() error {
+	client, err := caribou.NewClient(caribou.ClientConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Available regions:")
+	for _, r := range client.Regions() {
+		fmt.Printf("  %s\n", r)
+	}
+	return nil
+}
+
+type commonFlags struct {
+	home      string
+	days      int
+	perDay    int
+	adaptive  bool
+	tolerance float64
+	priority  string
+	seed      int64
+}
+
+func parseCommon(name string, args []string) (commonFlags, string, error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var cf commonFlags
+	fs.StringVar(&cf.home, "home", "aws:us-east-1", "home region")
+	fs.IntVar(&cf.days, "days", 2, "experiment days")
+	fs.IntVar(&cf.perDay, "per-day", 400, "invocations per day")
+	fs.BoolVar(&cf.adaptive, "adaptive", false, "enable adaptive re-deployment")
+	fs.Float64Var(&cf.tolerance, "tolerance", 10, "latency tolerance in percent")
+	fs.StringVar(&cf.priority, "priority", "carbon", "optimization priority")
+	fs.Int64Var(&cf.seed, "seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return cf, "", err
+	}
+	if fs.NArg() != 1 {
+		return cf, "", fmt.Errorf("expected exactly one workflow name; try `caribou list`")
+	}
+	return cf, fs.Arg(0), nil
+}
+
+func priorityOf(s string) (caribou.Priority, error) {
+	switch s {
+	case "carbon":
+		return caribou.OptimizeCarbon, nil
+	case "cost":
+		return caribou.OptimizeCost, nil
+	case "latency":
+		return caribou.OptimizeLatency, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q", s)
+}
+
+func deploy(cf commonFlags, name string) (*caribou.Client, *caribou.App, error) {
+	wf, err := caribou.Benchmark(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	prio, err := priorityOf(cf.priority)
+	if err != nil {
+		return nil, nil, err
+	}
+	client, err := caribou.NewClient(caribou.ClientConfig{
+		Seed: cf.seed,
+		End:  caribou.DefaultEvaluationStart.Add(time.Duration(cf.days) * 24 * time.Hour),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	app, err := client.Deploy(wf, caribou.DeploymentConfig{
+		HomeRegion:          cf.home,
+		Priority:            prio,
+		LatencyTolerancePct: cf.tolerance,
+		Adaptive:            cf.adaptive,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return client, app, nil
+}
+
+func describe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: caribou describe <workflow>")
+	}
+	wl, err := workloads.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("// %s — %s (%s)\n", wl.Name, wl.Description, wl.DAG.Summary())
+	fmt.Print(wl.DAG.ToDOT(nil))
+	return nil
+}
+
+func run(args []string) error {
+	cf, name, err := parseCommon("run", args)
+	if err != nil {
+		return err
+	}
+	client, app, err := deploy(cf, name)
+	if err != nil {
+		return err
+	}
+	gap := 24 * time.Hour / time.Duration(cf.perDay)
+	app.InvokeEvery(gap, cf.days*cf.perDay, caribou.SmallInput)
+	fmt.Printf("Deployed %s at %s; running %d invocations over %d day(s) (adaptive=%v)...\n",
+		name, cf.home, cf.days*cf.perDay, cf.days, cf.adaptive)
+	client.Run()
+
+	for _, sc := range []caribou.TransmissionScenario{caribou.BestCaseTransmission, caribou.WorstCaseTransmission} {
+		rep, err := app.Report(sc)
+		if err != nil {
+			return err
+		}
+		label := "best-case"
+		if sc == caribou.WorstCaseTransmission {
+			label = "worst-case"
+		}
+		fmt.Printf("[%s tx] %s\n", label, rep)
+	}
+	return nil
+}
+
+func solve(args []string) error {
+	cf, name, err := parseCommon("solve", args)
+	if err != nil {
+		return err
+	}
+	client, app, err := deploy(cf, name)
+	if err != nil {
+		return err
+	}
+	// Learning day at home, then one solve.
+	gap := 24 * time.Hour / time.Duration(cf.perDay)
+	app.InvokeEvery(gap, cf.perDay, caribou.SmallInput)
+	client.RunUntil(caribou.DefaultEvaluationStart.Add(24 * time.Hour))
+	if err := app.Solve(); err != nil {
+		return err
+	}
+	fmt.Printf("Hourly deployment plans for %s (after one learning day):\n", name)
+	for hour, plan := range app.Plans() {
+		fmt.Printf("  %02d:00 %s\n", hour, plan)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Package caribou is a framework for carbon-aware, fine-grained geospatial
+// shifting of serverless workflows, reproducing "Caribou: Fine-Grained
+// Geospatial Shifting of Serverless Applications for Sustainability"
+// (SOSP 2024).
+//
+// Caribou deploys each stage of a serverless workflow DAG to the cloud
+// region where it emits the least operational carbon, subject to
+// end-to-end latency and cost tolerances and data-residency constraints,
+// and re-deploys stages as grid carbon intensity shifts through the day.
+// It requires no change to application logic: routing happens in the
+// function wrapper via pub/sub topics, synchronization nodes coordinate
+// through a distributed key-value store, and a token-bucket Deployment
+// Manager ensures the framework's own overhead stays below the savings it
+// produces.
+//
+// This implementation runs against a deterministic simulated multi-region
+// cloud (see DESIGN.md for the substitution map from the paper's AWS
+// deployment), making week-long experiments reproducible in milliseconds.
+//
+// # Declaring a workflow
+//
+// The Go builder mirrors the paper's Python API: registering a function
+// corresponds to the @workflow.serverless_function decorator, Edge to
+// invoke_serverless_function, ConditionalEdge to its conditional form, and
+// a stage with multiple incoming edges is a synchronization node that
+// retrieves predecessor data (get_predecessor_data):
+//
+//	wf := caribou.NewWorkflow("example", "0.1")
+//	wf.Function("validate", caribou.FunctionConfig{
+//		MemoryMB:       512,
+//		AllowedRegions: []string{"aws:us-east-1"}, // compliance pin
+//		Work:           caribou.Work{SmallSeconds: 0.3, LargeSeconds: 0.7},
+//	})
+//	wf.Function("speak", caribou.FunctionConfig{
+//		MemoryMB: 3008,
+//		Work:     caribou.Work{SmallSeconds: 4.2, LargeSeconds: 15.5},
+//	})
+//	wf.Edge("validate", "speak",
+//		caribou.Payload{SmallBytes: 1e3, LargeBytes: 12e3})
+//
+// # Deploying and running
+//
+//	client, err := caribou.NewClient(caribou.ClientConfig{})
+//	app, err := client.Deploy(wf, caribou.DeploymentConfig{
+//		HomeRegion:          "aws:us-east-1",
+//		Priority:            caribou.OptimizeCarbon,
+//		LatencyTolerancePct: 10,
+//		Adaptive:            true,
+//	})
+//	app.InvokeEvery(30*time.Minute, 48, caribou.SmallInput)
+//	client.Run()
+//	report, err := app.Report(caribou.BestCaseTransmission)
+//
+// The report carries per-invocation carbon (execution and transmission
+// components), cost, and service-time statistics, plus the deployment
+// decisions the framework made.
+package caribou

@@ -1,0 +1,68 @@
+package caribou_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	caribou "caribou"
+)
+
+// ExampleClient_Deploy deploys a two-stage workflow, runs a day of
+// traffic, and prints how many invocations completed. Because the whole
+// substrate is a seeded simulation, the output is exactly reproducible.
+func ExampleClient_Deploy() {
+	wf := caribou.NewWorkflow("pipeline", "1.0")
+	wf.Function("prepare", caribou.FunctionConfig{
+		Work: caribou.Work{SmallSeconds: 0.5},
+	})
+	wf.Function("process", caribou.FunctionConfig{
+		Work: caribou.Work{SmallSeconds: 2.0, OutputSmallBytes: 1e4},
+	})
+	wf.Edge("prepare", "process", caribou.Payload{SmallBytes: 1e5})
+
+	client, err := caribou.NewClient(caribou.ClientConfig{
+		Seed: 1,
+		End:  caribou.DefaultEvaluationStart.Add(24 * time.Hour),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	app, err := client.Deploy(wf, caribou.DeploymentConfig{
+		HomeRegion: "aws:us-east-1",
+		Priority:   caribou.OptimizeCarbon,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	app.InvokeEvery(time.Hour, 24, caribou.SmallInput)
+	client.Run()
+
+	rep, err := app.Report(caribou.BestCaseTransmission)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d/%d invocations completed in %v\n", rep.Succeeded, rep.Invocations, rep.RegionsUsed)
+	// Output: 24/24 invocations completed in [aws:us-east-1]
+}
+
+// ExampleLoadManifest parses a deployment manifest, the analogue of the
+// paper's config.yml.
+func ExampleLoadManifest() {
+	manifest := `{
+		"home_region": "aws:us-east-1",
+		"priority": "carbon",
+		"latency_tolerance_pct": 10,
+		"allowed_countries": ["US", "CA"]
+	}`
+	cfg, err := caribou.LoadManifest(strings.NewReader(manifest))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(cfg.HomeRegion, cfg.LatencyTolerancePct, cfg.AllowedCountries)
+	// Output: aws:us-east-1 10 [US CA]
+}

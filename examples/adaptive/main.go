@@ -1,0 +1,55 @@
+// Adaptive week: the image-processing benchmark runs for six days under a
+// diurnal Azure-style invocation trace with the token-bucket Deployment
+// Manager in control (§5.2). The example prints the framework's plan
+// generations and the final report, demonstrating self-regulated
+// re-deployment end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	caribou "caribou"
+)
+
+func main() {
+	wf, err := caribou.Benchmark("image-processing")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := caribou.NewClient(caribou.ClientConfig{
+		Seed: 99,
+		End:  caribou.DefaultEvaluationStart.Add(6 * 24 * time.Hour),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := client.Deploy(wf, caribou.DeploymentConfig{
+		HomeRegion:          "aws:us-east-1",
+		Priority:            caribou.OptimizeCarbon,
+		LatencyTolerancePct: 20,
+		Adaptive:            true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.InvokeTrace(600); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Running six simulated days under an Azure-style trace...")
+	client.Run()
+
+	best, err := app.Report(caribou.BestCaseTransmission)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, err := app.Report(caribou.WorstCaseTransmission)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan generations: %d\n", best.DeploymentPlanSolves)
+	fmt.Printf("[best-case tx]  %s\n", best)
+	fmt.Printf("[worst-case tx] %s\n", worst)
+}

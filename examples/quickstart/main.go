@@ -1,0 +1,64 @@
+// Quickstart: declare a two-stage workflow, deploy it with the adaptive
+// Deployment Manager, drive two days of traffic, and print the carbon /
+// cost / latency report under both transmission-carbon scenarios.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	caribou "caribou"
+)
+
+func main() {
+	// A thumbnail pipeline: resize an upload, then classify it.
+	wf := caribou.NewWorkflow("thumbnailer", "0.1")
+	wf.Function("resize", caribou.FunctionConfig{
+		MemoryMB: 1024,
+		Work:     caribou.Work{SmallSeconds: 0.4, LargeSeconds: 1.2, CPUUtil: 0.6},
+	})
+	wf.Function("classify", caribou.FunctionConfig{
+		MemoryMB: 3008,
+		Work: caribou.Work{
+			SmallSeconds: 2.5, LargeSeconds: 7.0, CPUUtil: 0.9,
+			OutputSmallBytes: 2e3, OutputLargeBytes: 2e3,
+		},
+	})
+	wf.Edge("resize", "classify", caribou.Payload{SmallBytes: 150e3, LargeBytes: 1.5e6})
+
+	client, err := caribou.NewClient(caribou.ClientConfig{
+		Seed: 42,
+		End:  caribou.DefaultEvaluationStart.Add(2 * 24 * time.Hour),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := client.Deploy(wf, caribou.DeploymentConfig{
+		HomeRegion:          "aws:us-east-1",
+		Priority:            caribou.OptimizeCarbon,
+		LatencyTolerancePct: 15,
+		Adaptive:            true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 300 invocations per day, alternating input sizes via two streams.
+	app.InvokeEvery(8*time.Minute, 360, caribou.SmallInput)
+	app.InvokeEvery(16*time.Minute, 180, caribou.LargeInput)
+
+	fmt.Println("Running two simulated days of traffic...")
+	client.Run()
+
+	for _, sc := range []struct {
+		name string
+		s    caribou.TransmissionScenario
+	}{{"best-case", caribou.BestCaseTransmission}, {"worst-case", caribou.WorstCaseTransmission}} {
+		rep, err := app.Report(sc.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s tx] %s\n", sc.name, rep)
+	}
+}

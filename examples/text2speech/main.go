@@ -1,0 +1,96 @@
+// Text2Speech censoring with compliance constraints (Fig 3): the
+// regulation-sensitive validation stage is pinned to the home region,
+// while the stages off the critical path remain free to move. The example
+// shows that a location constraint on one stage still allows emission
+// reductions by offloading the other stages — the paper's headline
+// argument for fine-grained shifting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	caribou "caribou"
+)
+
+func buildWorkflow() *caribou.Workflow {
+	wf := caribou.NewWorkflow("t2s-censoring", "1.0")
+	wf.Function("validate", caribou.FunctionConfig{
+		MemoryMB: 512,
+		// Regulation-sensitive: may not leave the home region.
+		AllowedRegions: []string{"aws:us-east-1"},
+		Work:           caribou.Work{SmallSeconds: 0.3, LargeSeconds: 0.65, CPUUtil: 0.5},
+	})
+	wf.Function("text2speech", caribou.FunctionConfig{
+		MemoryMB: 3008,
+		Work:     caribou.Work{SmallSeconds: 4.2, LargeSeconds: 15.5, CPUUtil: 0.88},
+	})
+	wf.Function("conversion", caribou.FunctionConfig{
+		MemoryMB: 1769,
+		Work:     caribou.Work{SmallSeconds: 1.4, LargeSeconds: 5.2, CPUUtil: 0.78},
+	})
+	wf.Function("profanity", caribou.FunctionConfig{
+		MemoryMB: 1024,
+		Work:     caribou.Work{SmallSeconds: 0.55, LargeSeconds: 1.7, CPUUtil: 0.65},
+	})
+	wf.Function("censor", caribou.FunctionConfig{
+		MemoryMB: 1769,
+		Work:     caribou.Work{SmallSeconds: 0.75, LargeSeconds: 2.4, CPUUtil: 0.7},
+	})
+	wf.Function("compress", caribou.FunctionConfig{
+		MemoryMB: 1769,
+		Work: caribou.Work{
+			SmallSeconds: 0.65, LargeSeconds: 2.1, CPUUtil: 0.72,
+			OutputSmallBytes: 1e6, OutputLargeBytes: 11e6,
+		},
+	})
+	wf.Edge("validate", "text2speech", caribou.Payload{SmallBytes: 1e3, LargeBytes: 12e3})
+	wf.Edge("validate", "profanity", caribou.Payload{SmallBytes: 1e3, LargeBytes: 12e3})
+	wf.Edge("text2speech", "conversion", caribou.Payload{SmallBytes: 1.5e6, LargeBytes: 17e6})
+	wf.Edge("conversion", "compress", caribou.Payload{SmallBytes: 1.2e6, LargeBytes: 14e6})
+	wf.ConditionalEdge("profanity", "censor", 0.5, caribou.Payload{SmallBytes: 2e3, LargeBytes: 7e3})
+	wf.Edge("censor", "compress", caribou.Payload{SmallBytes: 4e3, LargeBytes: 11e3})
+	return wf
+}
+
+func main() {
+	client, err := caribou.NewClient(caribou.ClientConfig{
+		Seed: 7,
+		End:  caribou.DefaultEvaluationStart.Add(2 * 24 * time.Hour),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := client.Deploy(buildWorkflow(), caribou.DeploymentConfig{
+		HomeRegion:          "aws:us-east-1",
+		Priority:            caribou.OptimizeCarbon,
+		LatencyTolerancePct: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 1: learn at home.
+	app.InvokeEvery(5*time.Minute, 288, caribou.SmallInput)
+	client.RunUntil(caribou.DefaultEvaluationStart.Add(24 * time.Hour))
+
+	// Solve: validate must stay home; everything else may move.
+	if err := app.Solve(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Hourly plans (validate pinned to us-east-1 by compliance):")
+	plans := app.Plans()
+	for _, h := range []int{0, 6, 12, 18} {
+		fmt.Printf("  %02d:00 %s\n", h, plans[h])
+	}
+
+	// Day 2: run under the solved plans and report.
+	app.InvokeEvery(5*time.Minute, 288, caribou.SmallInput)
+	client.Run()
+	rep, err := app.Report(caribou.BestCaseTransmission)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", rep)
+}

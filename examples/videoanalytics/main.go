@@ -1,0 +1,58 @@
+// Video analytics under different QoS tolerances: the fan-out/join
+// benchmark runs with end-to-end latency tolerances from strict to loose,
+// showing how much carbon each point of latency slack buys (the trade-off
+// of Fig 10, on the public API).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	caribou "caribou"
+)
+
+func runWithTolerance(tolPct float64) (caribou.Report, error) {
+	wf, err := caribou.Benchmark("video-analytics")
+	if err != nil {
+		return caribou.Report{}, err
+	}
+	client, err := caribou.NewClient(caribou.ClientConfig{
+		Seed: 21,
+		End:  caribou.DefaultEvaluationStart.Add(2 * 24 * time.Hour),
+	})
+	if err != nil {
+		return caribou.Report{}, err
+	}
+	app, err := client.Deploy(wf, caribou.DeploymentConfig{
+		HomeRegion:          "aws:us-east-1",
+		Priority:            caribou.OptimizeCarbon,
+		LatencyTolerancePct: tolPct,
+	})
+	if err != nil {
+		return caribou.Report{}, err
+	}
+
+	// Learning day at home, then a measured day under solved plans.
+	app.InvokeEvery(6*time.Minute, 240, caribou.LargeInput)
+	client.RunUntil(caribou.DefaultEvaluationStart.Add(24 * time.Hour))
+	if err := app.Solve(); err != nil {
+		return caribou.Report{}, err
+	}
+	app.InvokeEvery(6*time.Minute, 240, caribou.LargeInput)
+	client.Run()
+	return app.Report(caribou.BestCaseTransmission)
+}
+
+func main() {
+	fmt.Println("video-analytics (large input): carbon vs latency tolerance")
+	fmt.Printf("%10s %14s %12s %12s %s\n", "tolerance", "carbon(g/inv)", "mean(s)", "p95(s)", "regions")
+	for _, tol := range []float64{0.01, 2.5, 5, 10, 20} {
+		rep, err := runWithTolerance(tol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.1f%% %14.5f %12.2f %12.2f %v\n",
+			tol, rep.MeanCarbonGrams, rep.MeanServiceSeconds, rep.P95ServiceSeconds, rep.RegionsUsed)
+	}
+}

@@ -1,0 +1,111 @@
+package carbon
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMarginalSourceProperties(t *testing.T) {
+	base := newSource(t)
+	mci := NewMarginalSource(base, 1)
+
+	// MCI sits within the fossil band everywhere.
+	for _, zone := range []string{"CA-QC", "US-MIDA-PJM", "US-CAL-CISO"} {
+		for ts := evalFrom; ts.Before(evalFrom.Add(48 * time.Hour)); ts = ts.Add(time.Hour) {
+			v, err := mci.At(zone, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < mciFloor || v > mciCeil {
+				t.Fatalf("%s at %v: MCI %v outside [%v, %v]", zone, ts, v, mciFloor, mciCeil)
+			}
+		}
+	}
+}
+
+func TestMarginalExceedsAverageOnCleanGrids(t *testing.T) {
+	base := newSource(t)
+	mci := NewMarginalSource(base, 1)
+	// Quebec's ACI is ~35; its marginal unit is still fossil, so MCI must
+	// be far above ACI — the §7.1 reason the signals can disagree.
+	for ts := evalFrom; ts.Before(evalFrom.Add(24 * time.Hour)); ts = ts.Add(time.Hour) {
+		aci, _ := base.At("CA-QC", ts)
+		m, err := mci.At("CA-QC", ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < 5*aci {
+			t.Fatalf("CA-QC MCI %v not far above ACI %v", m, aci)
+		}
+	}
+}
+
+func TestMarginalDeterministicAndHourly(t *testing.T) {
+	base := newSource(t)
+	a := NewMarginalSource(base, 7)
+	b := NewMarginalSource(base, 7)
+	v1, err := a.At("US-MIDA-PJM", evalFrom.Add(3*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := b.At("US-MIDA-PJM", evalFrom.Add(3*time.Hour))
+	if v1 != v2 {
+		t.Error("same seed diverged")
+	}
+	// Sub-hour timestamps resolve to the same value.
+	v3, _ := a.At("US-MIDA-PJM", evalFrom.Add(3*time.Hour+20*time.Minute))
+	if v1 != v3 {
+		t.Error("sub-hour lookup differs")
+	}
+	hs, err := a.Hourly("US-MIDA-PJM", evalFrom, evalFrom.Add(6*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 6 || hs[3] != v1 {
+		t.Errorf("hourly = %v", hs)
+	}
+}
+
+func TestMarginalNoisierThanAverage(t *testing.T) {
+	base := newSource(t)
+	mci := NewMarginalSource(base, 1)
+	variation := func(vals []float64) float64 {
+		var sum float64
+		for i := 1; i < len(vals); i++ {
+			d := vals[i] - vals[i-1]
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		return sum / float64(len(vals)-1)
+	}
+	aci, err := base.Hourly("US-MIDA-PJM", evalFrom, evalFrom.Add(72*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mci.Hourly("US-MIDA-PJM", evalFrom, evalFrom.Add(72*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variation(m) <= variation(aci) {
+		t.Errorf("MCI hour-to-hour variation %v not above ACI %v", variation(m), variation(aci))
+	}
+}
+
+func TestMarginalPropagatesErrors(t *testing.T) {
+	base := newSource(t)
+	mci := NewMarginalSource(base, 1)
+	if _, err := mci.At("XX-NOWHERE", evalFrom); err == nil {
+		t.Error("want error for unknown zone")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", -42: "-42", 123456789: "123456789"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fleet manages several workflows in one environment with a single
+// Deployment Manager sweep, matching Fig 6's description of the DM
+// regularly iterating over all deployed workflows. Each app keeps its own
+// token bucket and check schedule; the fleet provides the shared tick
+// loop and aggregate reporting.
+type Fleet struct {
+	env  *Env
+	apps []*App
+}
+
+// NewFleet returns an empty fleet over the environment.
+func NewFleet(env *Env) *Fleet { return &Fleet{env: env} }
+
+// Add registers an adaptive app. Non-adaptive apps are rejected: the
+// fleet exists to drive Deployment Manager ticks.
+func (f *Fleet) Add(app *App) error {
+	if app == nil || app.Manager == nil {
+		return fmt.Errorf("core: fleet requires an adaptive app (Manager wired)")
+	}
+	if app.Env != f.env {
+		return fmt.Errorf("core: app belongs to a different environment")
+	}
+	f.apps = append(f.apps, app)
+	return nil
+}
+
+// Apps returns the managed apps.
+func (f *Fleet) Apps() []*App { return append([]*App(nil), f.apps...) }
+
+// ScheduleTicks drives one sweep over every workflow at the given cadence
+// until the environment's end.
+func (f *Fleet) ScheduleTicks(interval time.Duration) {
+	var tick func()
+	tick = func() {
+		now := f.env.Sched.Now()
+		if !now.Before(f.env.End) {
+			return
+		}
+		for _, app := range f.apps {
+			if _, err := app.Manager.Tick(now); err != nil {
+				// A failed solve/rollout leaves that workflow on its
+				// home fallback; the sweep continues.
+				continue
+			}
+		}
+		f.env.Sched.After(interval, tick)
+	}
+	f.env.Sched.After(interval, tick)
+}
+
+// TotalOverheadGrams sums framework carbon across the fleet.
+func (f *Fleet) TotalOverheadGrams() float64 {
+	var sum float64
+	for _, app := range f.apps {
+		sum += app.Manager.OverheadGrams
+	}
+	return sum
+}
+
+// TotalSolves sums plan generations across the fleet.
+func (f *Fleet) TotalSolves() int {
+	n := 0
+	for _, app := range f.apps {
+		n += app.Manager.Solves()
+	}
+	return n
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/executor"
+	"caribou/internal/region"
+	"caribou/internal/solver"
+	"caribou/internal/trace"
+	"caribou/internal/workloads"
+)
+
+func TestFleetManagesMultipleWorkflows(t *testing.T) {
+	env, err := NewEnv(EnvConfig{
+		Seed:    9,
+		Start:   evalStart,
+		End:     evalStart.Add(3 * 24 * time.Hour),
+		Regions: region.EvaluationFour(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(env)
+	var apps []*App
+	for _, wl := range []*workloads.Workload{
+		workloads.Text2SpeechCensoring(),
+		workloads.RAGDataIngestion(),
+	} {
+		app, err := env.NewApp(AppConfig{
+			Workload: wl,
+			Home:     region.USEast1,
+			Mode:     executor.ModeCaribou,
+			Adaptive: true,
+			Objective: solver.Objective{
+				Priority:   solver.PriorityCarbon,
+				Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.Add(app); err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+		const perDay = 150
+		app.ScheduleUniform(evalStart, 3*perDay, 24*time.Hour/perDay, workloads.Small)
+	}
+	fleet.ScheduleTicks(time.Hour)
+	env.Run()
+
+	if fleet.TotalSolves() < 2 {
+		t.Errorf("fleet solves = %d, want at least one per workflow", fleet.TotalSolves())
+	}
+	if fleet.TotalOverheadGrams() <= 0 {
+		t.Error("fleet overhead not accounted")
+	}
+	for _, app := range apps {
+		if len(app.Records) < 3*150*9/10 {
+			t.Errorf("%s completed %d invocations", app.Workload.Name, len(app.Records))
+		}
+		for _, r := range app.Records {
+			if !r.Succeeded {
+				t.Fatalf("%s invocation %d failed", app.Workload.Name, r.ID)
+			}
+		}
+	}
+	if len(fleet.Apps()) != 2 {
+		t.Errorf("fleet size = %d", len(fleet.Apps()))
+	}
+}
+
+func TestFleetRejectsNonAdaptiveApps(t *testing.T) {
+	env, err := NewEnv(EnvConfig{
+		Seed: 1, Start: evalStart, End: evalStart.Add(24 * time.Hour),
+		Regions: region.EvaluationFour(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := env.NewApp(AppConfig{
+		Workload: workloads.DNAVisualization(),
+		Home:     region.USEast1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(env)
+	if err := fleet.Add(app); err == nil {
+		t.Error("non-adaptive app accepted")
+	}
+	if err := fleet.Add(nil); err == nil {
+		t.Error("nil app accepted")
+	}
+
+	env2, err := NewEnv(EnvConfig{
+		Seed: 2, Start: evalStart, End: evalStart.Add(24 * time.Hour),
+		Regions: region.EvaluationFour(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := env2.NewApp(AppConfig{
+		Workload: workloads.DNAVisualization(),
+		Home:     region.USEast1,
+		Adaptive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Add(app2); err == nil {
+		t.Error("cross-environment app accepted")
+	}
+}
+
+func TestScheduleTraceAndStaticPlanHelpers(t *testing.T) {
+	env, err := NewEnv(EnvConfig{
+		Seed: 21, Start: evalStart, End: evalStart.Add(24 * time.Hour),
+		Regions: region.EvaluationFour(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := env.NewApp(AppConfig{
+		Workload: workloads.DNAVisualization(),
+		Home:     region.USEast1,
+		Mode:     executor.ModeCaribou,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.Generate(trace.Uniform(96), evalStart, env.End, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mix of small and large classes from the trace.
+	app.ScheduleTrace(events)
+
+	// Route through a static plan in ca-central-1, then back home.
+	plan := dag.NewHomePlan(app.Workload.DAG, region.CACentral1)
+	if _, err := app.DeployPlanRegions(dag.Uniform(plan)); err != nil {
+		t.Fatal(err)
+	}
+	app.SetStaticPlans(dag.Uniform(plan))
+	env.RunUntil(evalStart.Add(12 * time.Hour))
+	app.UseHomeOnly()
+	env.Run()
+
+	if len(app.Records) < len(events)*9/10 {
+		t.Fatalf("completed %d of %d", len(app.Records), len(events))
+	}
+	sawRemote, sawHomeAfter := false, false
+	for _, r := range app.Records {
+		for _, e := range r.Executions {
+			if e.Region == region.CACentral1 {
+				sawRemote = true
+			}
+			if e.Region == region.USEast1 && r.End.After(evalStart.Add(13*time.Hour)) {
+				sawHomeAfter = true
+			}
+		}
+	}
+	if !sawRemote {
+		t.Error("static plan never routed to ca-central-1")
+	}
+	if !sawHomeAfter {
+		t.Error("UseHomeOnly did not take effect")
+	}
+	if app.InvokeErrors != 0 {
+		t.Errorf("invoke errors: %d", app.InvokeErrors)
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(EnvConfig{Start: evalStart, End: evalStart}); err == nil {
+		t.Error("want error when End is not after Start")
+	}
+	if _, err := NewEnv(EnvConfig{Start: evalStart, End: evalStart.Add(time.Hour), Regions: []region.ID{"aws:nowhere"}}); err == nil {
+		t.Error("want error for unknown region")
+	}
+}
+
+func TestNewAppValidation(t *testing.T) {
+	env, err := NewEnv(EnvConfig{Seed: 1, Start: evalStart, End: evalStart.Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.NewApp(AppConfig{}); err == nil {
+		t.Error("want error without workload")
+	}
+	if _, err := env.NewApp(AppConfig{Workload: workloads.DNAVisualization(), Home: "aws:nowhere"}); err == nil {
+		t.Error("want error for unknown home")
+	}
+}

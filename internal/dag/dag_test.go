@@ -1,0 +1,314 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"caribou/internal/region"
+)
+
+// diamond builds start -> {a, b} -> join with a conditional edge to b.
+func diamond(t *testing.T) *DAG {
+	t.Helper()
+	d, err := NewBuilder("diamond").
+		AddNode(Node{ID: "start"}).
+		AddNode(Node{ID: "a"}).
+		AddNode(Node{ID: "b"}).
+		AddNode(Node{ID: "join"}).
+		AddEdge("start", "a").
+		AddConditionalEdge("start", "b", 0.5).
+		AddEdge("a", "join").
+		AddEdge("b", "join").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildValidDAG(t *testing.T) {
+	d := diamond(t)
+	if d.Name() != "diamond" || d.Len() != 4 {
+		t.Fatalf("name=%s len=%d", d.Name(), d.Len())
+	}
+	if d.Start() != "start" {
+		t.Errorf("start = %s", d.Start())
+	}
+	if !d.IsSync("join") {
+		t.Error("join should be a sync node")
+	}
+	if d.IsSync("a") {
+		t.Error("a is not a sync node")
+	}
+	if syncs := d.SyncNodes(); len(syncs) != 1 || syncs[0] != "join" {
+		t.Errorf("sync nodes = %v", syncs)
+	}
+	if !d.HasConditional() {
+		t.Error("conditional edge not detected")
+	}
+	if terms := d.Terminals(); len(terms) != 1 || terms[0] != "join" {
+		t.Errorf("terminals = %v", terms)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"no nodes", NewBuilder("x")},
+		{"empty name", NewBuilder("").AddNode(Node{ID: "a"})},
+		{"empty node id", NewBuilder("x").AddNode(Node{ID: ""})},
+		{"duplicate node", NewBuilder("x").AddNode(Node{ID: "a"}).AddNode(Node{ID: "a"})},
+		{"unknown edge source", NewBuilder("x").AddNode(Node{ID: "a"}).AddEdge("zz", "a")},
+		{"unknown edge target", NewBuilder("x").AddNode(Node{ID: "a"}).AddEdge("a", "zz")},
+		{"self loop", NewBuilder("x").AddNode(Node{ID: "a"}).AddEdge("a", "a")},
+		{"duplicate edge", NewBuilder("x").AddNode(Node{ID: "a"}).AddNode(Node{ID: "b"}).AddEdge("a", "b").AddEdge("a", "b")},
+		{"two start nodes", NewBuilder("x").AddNode(Node{ID: "a"}).AddNode(Node{ID: "b"})},
+		{"cycle", NewBuilder("x").
+			AddNode(Node{ID: "s"}).AddNode(Node{ID: "a"}).AddNode(Node{ID: "b"}).
+			AddEdge("s", "a").AddEdge("a", "b").AddEdge("b", "a")},
+	}
+	for _, c := range cases {
+		if _, err := c.b.Build(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestTopologicalOrderProperty(t *testing.T) {
+	d := diamond(t)
+	pos := map[NodeID]int{}
+	for i, n := range d.Nodes() {
+		pos[n] = i
+	}
+	for _, e := range d.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %s->%s violates topo order", e.From, e.To)
+		}
+	}
+}
+
+func TestQuickRandomLayeredDAGsTopoSort(t *testing.T) {
+	// Property: random layered DAGs always build, and the returned node
+	// order is a topological order.
+	f := func(widths [3]uint8, edgeBits uint64) bool {
+		b := NewBuilder("rand")
+		b.AddNode(Node{ID: "root"})
+		var layers [][]NodeID
+		prev := []NodeID{"root"}
+		bit := 0
+		for li, w8 := range widths {
+			w := int(w8%3) + 1
+			var layer []NodeID
+			for i := 0; i < w; i++ {
+				id := NodeID(fmt.Sprintf("n%d-%d", li, i))
+				b.AddNode(Node{ID: id})
+				// Connect from at least one predecessor.
+				connected := false
+				for _, p := range prev {
+					take := edgeBits&(1<<uint(bit%64)) != 0
+					bit++
+					if take {
+						b.AddEdge(p, id)
+						connected = true
+					}
+				}
+				if !connected {
+					b.AddEdge(prev[0], id)
+				}
+				layer = append(layer, id)
+			}
+			layers = append(layers, layer)
+			prev = layer
+		}
+		_ = layers
+		d, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pos := map[NodeID]int{}
+		for i, n := range d.Nodes() {
+			pos[n] = i
+		}
+		for _, e := range d.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return len(d.Nodes()) == d.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionalProbabilityClamping(t *testing.T) {
+	d, err := NewBuilder("clamp").
+		AddNode(Node{ID: "a"}).
+		AddNode(Node{ID: "b"}).
+		AddNode(Node{ID: "c"}).
+		AddConditionalEdge("a", "b", -0.5).
+		AddConditionalEdge("a", "c", 1.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.Out("a")
+	if out[0].Probability != 0 || out[1].Probability != 1 {
+		t.Errorf("probabilities = %v, %v", out[0].Probability, out[1].Probability)
+	}
+}
+
+func TestDefaultsAppliedOnAddNode(t *testing.T) {
+	d, err := NewBuilder("defaults").AddNode(Node{ID: "only"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := d.Node("only")
+	if n.MemoryMB != 1769 {
+		t.Errorf("default memory = %v", n.MemoryMB)
+	}
+	if n.Function != "only" {
+		t.Errorf("default function = %q", n.Function)
+	}
+}
+
+func TestDescendants(t *testing.T) {
+	d := diamond(t)
+	desc := d.Descendants("start")
+	if len(desc) != 3 {
+		t.Errorf("descendants of start = %v", desc)
+	}
+	if ds := d.Descendants("join"); len(ds) != 0 {
+		t.Errorf("descendants of terminal = %v", ds)
+	}
+	da := d.Descendants("a")
+	if len(da) != 1 || da[0] != "join" {
+		t.Errorf("descendants of a = %v", da)
+	}
+}
+
+func TestAccessorsCopySemantics(t *testing.T) {
+	d := diamond(t)
+	out := d.Out("start")
+	out[0].To = "mutated"
+	if d.Out("start")[0].To == "mutated" {
+		t.Error("Out leaked internal slice")
+	}
+	nodes := d.Nodes()
+	nodes[0] = "mutated"
+	if d.Nodes()[0] == "mutated" {
+		t.Error("Nodes leaked internal slice")
+	}
+}
+
+func TestHomePlanAndValidate(t *testing.T) {
+	d := diamond(t)
+	cat := region.NorthAmerica()
+	p := NewHomePlan(d, region.USEast1)
+	if len(p) != d.Len() || !p.IsSingleRegion() {
+		t.Fatalf("home plan = %v", p)
+	}
+	if err := p.Validate(d, cat, region.Constraint{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing stage.
+	q := p.Clone()
+	delete(q, "a")
+	if err := q.Validate(d, cat, region.Constraint{}); err == nil {
+		t.Error("want error for missing stage")
+	}
+
+	// Unknown region.
+	q = p.Clone()
+	q["a"] = "aws:nowhere"
+	if err := q.Validate(d, cat, region.Constraint{}); err == nil {
+		t.Error("want error for unknown region")
+	}
+
+	// Workflow-level constraint violation.
+	q = p.Clone()
+	q["a"] = region.CACentral1
+	if err := q.Validate(d, cat, region.Constraint{AllowedCountries: []string{"US"}}); err == nil {
+		t.Error("want compliance violation")
+	}
+}
+
+func TestPlanValidateFunctionLevelConstraint(t *testing.T) {
+	d, err := NewBuilder("pin").
+		AddNode(Node{ID: "s", Constraint: region.Constraint{AllowedRegions: []region.ID{region.USEast1}}}).
+		AddNode(Node{ID: "t"}).
+		AddEdge("s", "t").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := region.NorthAmerica()
+	p := NewHomePlan(d, region.USWest2)
+	if err := p.Validate(d, cat, region.Constraint{}); err == nil {
+		t.Error("function-level pin not enforced")
+	}
+	p["s"] = region.USEast1
+	if err := p.Validate(d, cat, region.Constraint{}); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestPlanEqualCloneRegions(t *testing.T) {
+	d := diamond(t)
+	p := NewHomePlan(d, region.USEast1)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone not equal")
+	}
+	q["a"] = region.CACentral1
+	if p.Equal(q) {
+		t.Error("diverged plans reported equal")
+	}
+	if p["a"] != region.USEast1 {
+		t.Error("clone aliases original")
+	}
+	regions := q.Regions()
+	if len(regions) != 2 {
+		t.Errorf("regions = %v", regions)
+	}
+	if q.IsSingleRegion() {
+		t.Error("multi-region plan reported single")
+	}
+	if p.Equal(Plan{}) {
+		t.Error("different sizes reported equal")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	d := diamond(t)
+	p := NewHomePlan(d, region.USEast1)
+	s := p.String()
+	if s == "" || s[0] != '{' {
+		t.Errorf("plan string = %q", s)
+	}
+}
+
+func TestHourlyPlans(t *testing.T) {
+	d := diamond(t)
+	home := NewHomePlan(d, region.USEast1)
+	h := Uniform(home)
+	if h.DistinctPlans() != 1 {
+		t.Errorf("distinct = %d", h.DistinctPlans())
+	}
+	other := NewHomePlan(d, region.CACentral1)
+	h[3] = other
+	if h.DistinctPlans() != 2 {
+		t.Errorf("distinct = %d", h.DistinctPlans())
+	}
+	if !h.At(3).Equal(other) || !h.At(4).Equal(home) {
+		t.Error("At returned wrong plan")
+	}
+	// Out-of-range hours wrap.
+	if !h.At(27).Equal(other) || !h.At(-21).Equal(other) {
+		t.Error("hour wrapping broken")
+	}
+}

@@ -1,0 +1,77 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the workflow as a Graphviz digraph. Synchronization nodes
+// are drawn as double octagons, conditional edges as dashed lines labeled
+// with their probability, and — when a plan is supplied — nodes are
+// grouped into per-region clusters so a deployment is visible at a
+// glance. plan may be nil.
+func (d *DAG) ToDOT(plan Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", d.name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, style=rounded];\n")
+
+	nodeAttrs := func(n NodeID) string {
+		if d.IsSync(n) {
+			return " [shape=doubleoctagon]"
+		}
+		return ""
+	}
+
+	if plan == nil {
+		for _, n := range d.order {
+			fmt.Fprintf(&b, "  %q%s;\n", n, nodeAttrs(n))
+		}
+	} else {
+		// Group by region, stable order.
+		byRegion := map[string][]NodeID{}
+		for _, n := range d.order {
+			byRegion[string(plan[n])] = append(byRegion[string(plan[n])], n)
+		}
+		regions := make([]string, 0, len(byRegion))
+		for r := range byRegion {
+			regions = append(regions, r)
+		}
+		sort.Strings(regions)
+		for i, r := range regions {
+			fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, r)
+			for _, n := range byRegion[r] {
+				fmt.Fprintf(&b, "    %q%s;\n", n, nodeAttrs(n))
+			}
+			b.WriteString("  }\n")
+		}
+	}
+
+	for _, n := range d.order {
+		for _, e := range d.out[n] {
+			if e.Conditional {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed, label=\"p=%.2f\"];\n", e.From, e.To, e.Probability)
+			} else {
+				fmt.Fprintf(&b, "  %q -> %q;\n", e.From, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary renders a one-line structural description ("6 stages, 6 edges,
+// sync, conditional").
+func (d *DAG) Summary() string {
+	parts := []string{
+		fmt.Sprintf("%d stages", d.Len()),
+		fmt.Sprintf("%d edges", len(d.Edges())),
+	}
+	if len(d.SyncNodes()) > 0 {
+		parts = append(parts, "sync")
+	}
+	if d.HasConditional() {
+		parts = append(parts, "conditional")
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,57 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"caribou/internal/region"
+)
+
+func TestToDOTStructure(t *testing.T) {
+	d := diamond(t)
+	dot := d.ToDOT(nil)
+	for _, want := range []string{
+		"digraph \"diamond\"",
+		"\"start\" -> \"a\"",
+		"doubleoctagon", // sync node styling
+		"style=dashed",  // conditional edge
+		"p=0.50",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("DOT not terminated")
+	}
+}
+
+func TestToDOTWithPlanClusters(t *testing.T) {
+	d := diamond(t)
+	plan := NewHomePlan(d, region.USEast1)
+	plan["b"] = region.CACentral1
+	dot := d.ToDOT(plan)
+	if !strings.Contains(dot, "subgraph cluster_0") || !strings.Contains(dot, "subgraph cluster_1") {
+		t.Errorf("expected two region clusters:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="aws:ca-central-1"`) {
+		t.Errorf("region label missing:\n%s", dot)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	d := diamond(t)
+	s := d.Summary()
+	for _, want := range []string{"4 stages", "4 edges", "sync", "conditional"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	single, err := NewBuilder("one").AddNode(Node{ID: "n"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := single.Summary(); strings.Contains(s, "sync") || strings.Contains(s, "conditional") {
+		t.Errorf("single-node summary = %q", s)
+	}
+}

@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/dag"
+	"caribou/internal/forecast"
+	"caribou/internal/region"
+	"caribou/internal/stats"
+	"caribou/internal/workloads"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the HBSS search
+// against exhaustive enumeration and the coarse single-region baseline;
+// Holt-Winters forecasting against naive persistence; and the
+// benchmarking-traffic fraction.
+
+// AblationSolverRow compares one solve strategy on one workload.
+type AblationSolverRow struct {
+	Workload string
+	Strategy string // "hbss", "exhaustive", "coarse"
+	// Normalized is the estimated plan carbon / home plan carbon.
+	Normalized float64
+	// Explored counts candidate-plan estimates.
+	SolveMillis int64
+}
+
+// AblationSolver runs the three strategies on workloads small enough to
+// enumerate exhaustively (search space ≤ 4^|N|).
+func AblationSolver(seed int64, perDay int) ([]AblationSolverRow, error) {
+	wls := []*workloads.Workload{
+		workloads.DNAVisualization(), // 4 plans
+		workloads.RAGDataIngestion(), // 16 plans
+	}
+	var rows []AblationSolverRow
+	for _, wl := range wls {
+		_, app, err := learnedApp(wl, region.EvaluationFour(), seed, perDayOr(perDay))
+		if err != nil {
+			return nil, fmt.Errorf("ablate-solver %s: %w", wl.Name, err)
+		}
+		now := EvalStart.Add(24 * time.Hour)
+		home := dag.NewHomePlan(wl.DAG, region.USEast1)
+		homeEst, err := app.Estimator.Estimate(home, now, now)
+		if err != nil {
+			return nil, err
+		}
+		type solveFn func() (float64, error)
+		strategies := []struct {
+			name string
+			fn   solveFn
+		}{
+			{"hbss/exhaustive", func() (float64, error) {
+				res, err := app.Solver.SolveOne(now, now)
+				if err != nil {
+					return 0, err
+				}
+				return res.Estimate.CarbonMean, nil
+			}},
+			{"coarse", func() (float64, error) {
+				res, err := app.Solver.SolveCoarse(now, now)
+				if err != nil {
+					return 0, err
+				}
+				return res.Estimate.CarbonMean, nil
+			}},
+		}
+		for _, s := range strategies {
+			start := time.Now()
+			carbonMean, err := s.fn()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationSolverRow{
+				Workload:    wl.Name,
+				Strategy:    s.name,
+				Normalized:  carbonMean / homeEst.CarbonMean,
+				SolveMillis: time.Since(start).Milliseconds(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func perDayOr(v int) int {
+	if v > 0 {
+		return v
+	}
+	return 192
+}
+
+// PrintAblationSolver renders the comparison.
+func PrintAblationSolver(w io.Writer, rows []AblationSolverRow) {
+	fmt.Fprintf(w, "Ablation — solver strategies (estimated carbon normalized to home)\n")
+	fmt.Fprintf(w, "%-24s %-18s %12s %10s\n", "workload", "strategy", "normalized", "ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-18s %12.3f %10d\n", r.Workload, r.Strategy, r.Normalized, r.SolveMillis)
+	}
+}
+
+// AblationForecastRow compares forecasting strategies per zone/horizon.
+type AblationForecastRow struct {
+	Zone         string
+	HorizonHours int
+	HWMAPEPct    float64
+	NaiveMAPEPct float64
+}
+
+// AblationForecast scores Holt-Winters against naive persistence on the
+// synthetic carbon traces.
+func AblationForecast(seed int64) ([]AblationForecastRow, error) {
+	src, err := carbon.NewSyntheticSource(seed, EvalStart.Add(-8*24*time.Hour), EvalStart.Add(9*24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	zones := []string{"US-MIDA-PJM", "US-CAL-CISO", "CA-QC"}
+	horizons := []int{24, 72, 168}
+	var rows []AblationForecastRow
+	for _, zone := range zones {
+		train, err := src.Hourly(zone, EvalStart.Add(-7*24*time.Hour), EvalStart)
+		if err != nil {
+			return nil, err
+		}
+		model, err := forecast.Fit(train, 24)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range horizons {
+			actual, err := src.Hourly(zone, EvalStart, EvalStart.Add(time.Duration(h)*time.Hour))
+			if err != nil {
+				return nil, err
+			}
+			hw := model.ForecastRange(len(actual))
+			naive := forecast.Naive(train, 24, len(actual))
+			hwM, err := stats.MAPE(actual, hw)
+			if err != nil {
+				return nil, err
+			}
+			nvM, err := stats.MAPE(actual, naive)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationForecastRow{
+				Zone: zone, HorizonHours: h, HWMAPEPct: hwM, NaiveMAPEPct: nvM,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintAblationForecast renders the comparison.
+func PrintAblationForecast(w io.Writer, rows []AblationForecastRow) {
+	fmt.Fprintf(w, "Ablation — Holt-Winters vs naive persistence (MAPE %%)\n")
+	fmt.Fprintf(w, "%-14s %8s %12s %12s\n", "zone", "horizon", "holt-winters", "naive")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %7dh %12.2f %12.2f\n", r.Zone, r.HorizonHours, r.HWMAPEPct, r.NaiveMAPEPct)
+	}
+}
+
+// AblationBenchTrafficRow measures the cost of the home-pinned
+// benchmarking traffic share (§6.2's 10 %).
+type AblationBenchTrafficRow struct {
+	Fraction   float64
+	Normalized float64 // measured carbon / home baseline, best case
+}
+
+// AblationBenchTraffic sweeps the benchmarking fraction on Text2Speech.
+func AblationBenchTraffic(seed int64, perDay int) ([]AblationBenchTrafficRow, error) {
+	wl := workloads.Text2SpeechCensoring()
+	tx := carbon.BestCase()
+	home, err := Run(RunConfig{
+		Workload: wl, Class: workloads.Small,
+		Strategy: CoarseIn(region.USEast1),
+		PlanTx:   tx, PerDay: perDay, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	homeSum, err := home.Summarize(tx)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationBenchTrafficRow
+	for _, frac := range []float64{0.02, 0.10, 0.25, 0.50} {
+		res, err := Run(RunConfig{
+			Workload: wl, Class: workloads.Small,
+			Strategy: Fine,
+			PlanTx:   tx, PerDay: perDay, Seed: seed,
+			BenchFraction: frac,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := res.Summarize(tx)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationBenchTrafficRow{
+			Fraction:   frac,
+			Normalized: sum.MeanCarbonG / homeSum.MeanCarbonG,
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblationBenchTraffic renders the sweep.
+func PrintAblationBenchTraffic(w io.Writer, rows []AblationBenchTrafficRow) {
+	fmt.Fprintf(w, "Ablation — home-pinned benchmarking traffic fraction (text2speech, best case)\n")
+	fmt.Fprintf(w, "%10s %12s\n", "fraction", "normalized")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%9.0f%% %12.3f\n", r.Fraction*100, r.Normalized)
+	}
+}

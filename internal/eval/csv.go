@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"time"
+)
+
+// WriteCSV serializes a slice of flat structs (the figure row types) as
+// CSV with a header derived from the field names, so results can be fed
+// to external plotting tools. Supported field kinds: strings, booleans,
+// integers, floats, time.Time, and types with those underlying kinds;
+// map- or slice-valued fields are skipped.
+func WriteCSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("eval: WriteCSV wants a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return fmt.Errorf("eval: WriteCSV got an empty slice")
+	}
+	elem := v.Index(0).Type()
+	if elem.Kind() != reflect.Struct {
+		return fmt.Errorf("eval: WriteCSV wants a slice of structs, got %s", elem)
+	}
+
+	var cols []int
+	var header []string
+	for i := 0; i < elem.NumField(); i++ {
+		f := elem.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Map, reflect.Slice, reflect.Array, reflect.Ptr, reflect.Interface:
+			continue
+		}
+		cols = append(cols, i)
+		header = append(header, f.Name)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("eval: %s has no encodable fields", elem)
+	}
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := make([]string, 0, len(cols))
+		for _, i := range cols {
+			row = append(row, formatField(v.Index(r).Field(i)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatField(f reflect.Value) string {
+	if t, ok := f.Interface().(time.Time); ok {
+		return t.UTC().Format(time.RFC3339)
+	}
+	switch f.Kind() {
+	case reflect.String:
+		return f.String()
+	case reflect.Bool:
+		return strconv.FormatBool(f.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(f.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(f.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(f.Float(), 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%v", f.Interface())
+	}
+}

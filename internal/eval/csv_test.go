@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"caribou/internal/workloads"
+)
+
+func TestWriteCSVFigureRows(t *testing.T) {
+	rows := []Fig7Row{
+		{Workload: "wf", Class: workloads.Small, Strategy: "fine(all)", Scenario: "best", Normalized: 0.25, AbsoluteGrams: 0.001},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Workload,Class,Strategy,Scenario,Normalized,AbsoluteGrams\n") {
+		t.Errorf("header = %q", out)
+	}
+	if !strings.Contains(out, "wf,small,fine(all),best,0.25,0.001") {
+		t.Errorf("row = %q", out)
+	}
+}
+
+func TestWriteCSVSkipsNonScalarFields(t *testing.T) {
+	type mixed struct {
+		Name string
+		Vals []float64 // skipped
+		N    int
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, []mixed{{Name: "x", Vals: []float64{1}, N: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "Name,N\n") {
+		t.Errorf("header = %q", sb.String())
+	}
+}
+
+func TestWriteCSVTimeAndBool(t *testing.T) {
+	type row struct {
+		At time.Time
+		OK bool
+	}
+	at := time.Date(2023, 10, 15, 6, 0, 0, 0, time.UTC)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, []row{{At: at, OK: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2023-10-15T06:00:00Z,true") {
+		t.Errorf("out = %q", sb.String())
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := WriteCSV(&sb, []Fig7Row{}); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if err := WriteCSV(&sb, []int{1}); err == nil {
+		t.Error("slice of non-structs accepted")
+	}
+	type onlyMaps struct{ M map[string]int }
+	if err := WriteCSV(&sb, []onlyMaps{{}}); err == nil {
+		t.Error("struct without encodable fields accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"caribou/internal/solver"
+	"caribou/internal/workloads"
+)
+
+// Fig 10: carbon emissions and relative service time under different
+// end-to-end runtime tolerances (0–10 %), for DNA Visualization and Image
+// Processing under both transmission scenarios. Relative time is the
+// p95 tail service time of the chosen deployment divided by the QoS bound
+// (home p95 × (1 + tolerance)); above 1.0 the QoS is violated.
+
+// Fig10Point is one (workload, scenario, tolerance) sample.
+type Fig10Point struct {
+	Workload     string
+	Class        workloads.InputClass
+	Scenario     string
+	TolerancePct float64
+	RelCarbon    float64 // vs home deployment, same scenario
+	RelTime      float64 // p95 / QoS bound
+	QoSMet       bool
+}
+
+// Fig10Options scales the sweep.
+type Fig10Options struct {
+	Workloads  []*workloads.Workload
+	Class      workloads.InputClass
+	Tolerances []float64
+	PerDay     int
+	Seed       int64
+}
+
+// Fig10 runs the tolerance sweep.
+func Fig10(opt Fig10Options) ([]Fig10Point, error) {
+	if len(opt.Workloads) == 0 {
+		opt.Workloads = []*workloads.Workload{
+			workloads.DNAVisualization(),
+			workloads.ImageProcessing(),
+		}
+	}
+	if opt.Class == "" {
+		opt.Class = workloads.Small
+	}
+	if len(opt.Tolerances) == 0 {
+		opt.Tolerances = []float64{0, 2.5, 5, 7.5, 10}
+	}
+	var points []Fig10Point
+	for _, wl := range opt.Workloads {
+		for _, sc := range scenarios() {
+			// Home baseline (for carbon normalization and the QoS
+			// definition), run over the same days and summarized on
+			// the same final day as the fine runs so both sides see
+			// identical grid conditions.
+			lastDay := EvalStart.Add(2 * 24 * time.Hour)
+			home, err := Run(RunConfig{
+				Workload: wl, Class: opt.Class,
+				Strategy: CoarseIn("aws:us-east-1"),
+				EvalDays: 2,
+				PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s home: %w", wl.Name, err)
+			}
+			homeSum, err := home.SummarizeWindow(sc.Tx, lastDay, lastDay.Add(24*time.Hour))
+			if err != nil {
+				return nil, err
+			}
+			for _, tolPct := range opt.Tolerances {
+				tol := &solver.Tolerances{Latency: solver.Tol(tolPct)}
+				// Two measured days: day one feeds remote
+				// observations (including cold-start tails) back
+				// into the model; day two is the reported steady
+				// state after the corrective re-solve.
+				fine, err := Run(RunConfig{
+					Workload: wl, Class: opt.Class,
+					Strategy:   Fine,
+					PlanTx:     sc.Tx,
+					Tolerances: tol,
+					EvalDays:   2,
+					PerDay:     opt.PerDay, Seed: opt.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s tol %.1f: %w", wl.Name, tolPct, err)
+				}
+				fineSum, err := fine.SummarizeWindow(sc.Tx, lastDay, lastDay.Add(24*time.Hour))
+				if err != nil {
+					return nil, err
+				}
+				qos := homeSum.P95ServiceSec * (1 + tolPct/100)
+				relTime := 0.0
+				if qos > 0 {
+					relTime = fineSum.P95ServiceSec / qos
+				}
+				relCarbon := 0.0
+				if homeSum.MeanCarbonG > 0 {
+					relCarbon = fineSum.MeanCarbonG / homeSum.MeanCarbonG
+				}
+				points = append(points, Fig10Point{
+					Workload: wl.Name, Class: opt.Class, Scenario: sc.Name,
+					TolerancePct: tolPct,
+					RelCarbon:    relCarbon,
+					RelTime:      relTime,
+					QoSMet:       relTime <= 1.0005, // epsilon absorbs display rounding
+
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// PrintFig10 renders the sweep.
+func PrintFig10(w io.Writer, points []Fig10Point) {
+	fmt.Fprintf(w, "Fig 10 — carbon and relative time vs runtime tolerance\n")
+	fmt.Fprintf(w, "%-20s %-6s %-6s %8s %10s %9s %7s\n",
+		"workload", "class", "scen", "tol(%)", "relCarbon", "relTime", "QoS")
+	for _, p := range points {
+		qos := "met"
+		if !p.QoSMet {
+			qos = "VIOL"
+		}
+		fmt.Fprintf(w, "%-20s %-6s %-6s %8.1f %10.3f %9.3f %7s\n",
+			p.Workload, p.Class, p.Scenario, p.TolerancePct, p.RelCarbon, p.RelTime, qos)
+	}
+}

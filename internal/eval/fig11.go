@@ -1,0 +1,258 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/core"
+	"caribou/internal/dag"
+	"caribou/internal/executor"
+	"caribou/internal/platform"
+	"caribou/internal/region"
+	"caribou/internal/solver"
+	"caribou/internal/trace"
+	"caribou/internal/workloads"
+)
+
+// Fig 11: week-long adaptive operation of Caribou on Text2Speech
+// Censoring with the large input under an Azure-style invocation trace:
+// the Deployment Manager's plan generations over time, the region hosting
+// most workflow stages per hour, and Caribou's carbon relative to coarse
+// single-region deployments.
+
+// Fig11Bin is one time bin of the week-long series.
+type Fig11Bin struct {
+	Start time.Time
+	// MajorityRegion hosts the most stage executions in this bin under
+	// Caribou.
+	MajorityRegion region.ID
+	// RelCarbon maps each treatment ("caribou", "us-west-1", ...) to
+	// carbon relative to coarse us-east-1 within this bin.
+	RelCarbon map[string]float64
+	// Invocations counts Caribou invocations completing in the bin.
+	Invocations int
+}
+
+// Fig11Result is the figure's content for one transmission scenario.
+type Fig11Result struct {
+	Scenario   string
+	Bins       []Fig11Bin
+	SolveTimes []time.Time
+	Overhead   float64 // framework carbon, grams
+}
+
+// Fig11Options scales the experiment.
+type Fig11Options struct {
+	Days    int // default 6, matching the figure's span
+	PerDay  float64
+	BinHrs  int
+	Seed    int64
+	PerDayP trace.Profile // optional full profile override
+}
+
+// Fig11 runs the continuous evaluation for both transmission scenarios.
+func Fig11(opt Fig11Options) ([]Fig11Result, error) {
+	if opt.Days == 0 {
+		opt.Days = 6
+	}
+	if opt.PerDay == 0 {
+		opt.PerDay = 800 // half the Azure P5 rate keeps the run fast while preserving shape
+	}
+	if opt.BinHrs == 0 {
+		opt.BinHrs = 6
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 17
+	}
+	profile := trace.AzureP5()
+	profile.DailyInvocations = opt.PerDay
+	profile.LargeFraction = 1 // the figure uses the large input size
+	if opt.PerDayP.DailyInvocations > 0 {
+		profile = opt.PerDayP
+	}
+
+	wl := workloads.Text2SpeechCensoring()
+	start := EvalStart
+	end := start.Add(time.Duration(opt.Days) * 24 * time.Hour)
+	events, err := trace.Generate(profile, start, end, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Coarse baselines are scenario-independent (fixed routing); run
+	// once each.
+	coarse := map[string]*fig11Out{}
+	for _, r := range []region.ID{region.USEast1, region.USWest1, region.USWest2} {
+		out, err := fig11Run(wl, events, start, end, opt.Seed, nil, r)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 coarse %s: %w", r, err)
+		}
+		coarse[string(r)[4:]] = out
+	}
+
+	var results []Fig11Result
+	for _, sc := range scenarios() {
+		tx := sc.Tx
+		caribouOut, err := fig11Run(wl, events, start, end, opt.Seed, &tx, "")
+		if err != nil {
+			return nil, fmt.Errorf("fig11 caribou %s: %w", sc.Name, err)
+		}
+		res := Fig11Result{Scenario: sc.Name, SolveTimes: caribouOut.solves, Overhead: caribouOut.overhead}
+
+		for t := start; t.Before(end); t = t.Add(time.Duration(opt.BinHrs) * time.Hour) {
+			binEnd := t.Add(time.Duration(opt.BinHrs) * time.Hour)
+			bin := Fig11Bin{Start: t, RelCarbon: map[string]float64{}}
+
+			baseMean, baseN := binCarbon(coarse["us-east-1"], t, binEnd, tx)
+			if baseN == 0 || baseMean == 0 {
+				continue
+			}
+			for name, out := range coarse {
+				if name == "us-east-1" {
+					continue
+				}
+				m, n := binCarbon(out, t, binEnd, tx)
+				if n > 0 {
+					bin.RelCarbon[name] = m / baseMean
+				}
+			}
+			cm, cn := binCarbon(caribouOut, t, binEnd, tx)
+			if cn > 0 {
+				bin.RelCarbon["caribou"] = cm / baseMean
+			}
+			bin.Invocations = cn
+			bin.MajorityRegion = majorityRegion(caribouOut.records, t, binEnd)
+			res.Bins = append(res.Bins, bin)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// fig11Run executes the trace either adaptively (tx != nil) or coarse in
+// region r.
+// fig11Out carries one treatment's run.
+type fig11Out struct {
+	records  []*platform.InvocationRecord
+	env      *core.Env
+	overhead float64
+	solves   []time.Time
+}
+
+func fig11Run(wl *workloads.Workload, events []trace.Event, start, end time.Time, seed int64, tx *carbon.TransmissionModel, coarse region.ID) (*fig11Out, error) {
+	env, err := core.NewEnv(core.EnvConfig{
+		Seed: seed, Start: start, End: end, Regions: region.EvaluationFour(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.AppConfig{
+		Workload: wl,
+		Home:     region.USEast1,
+		Mode:     executor.ModeCaribou,
+		Objective: solver.Objective{
+			Priority:   solver.PriorityCarbon,
+			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+		},
+		Seed: seed,
+	}
+	adaptive := coarse == ""
+	if adaptive {
+		cfg.Adaptive = true
+		cfg.Tx = *tx
+	} else {
+		cfg.BenchFraction = -1
+	}
+	app, err := env.NewApp(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var solves []time.Time
+	if adaptive {
+		app.Manager.OnSolve = func(now time.Time, _ dag.HourlyPlans, _ []solver.Result) {
+			solves = append(solves, now)
+		}
+		app.ScheduleManagerTicks(time.Hour)
+	} else {
+		plans := dag.Uniform(dag.NewHomePlan(wl.DAG, coarse))
+		if _, err := app.DeployPlanRegions(plans); err != nil {
+			return nil, err
+		}
+		app.SetStaticPlans(plans)
+	}
+	app.ScheduleTrace(events)
+	env.Run()
+	out := &fig11Out{records: app.Records, env: env, solves: solves}
+	if app.Manager != nil {
+		out.overhead = app.Manager.OverheadGrams
+	}
+	return out, nil
+}
+
+func binCarbon(out *fig11Out, from, to time.Time, tx carbon.TransmissionModel) (mean float64, n int) {
+	var sum float64
+	for _, r := range out.records {
+		if r.End.Before(from) || !r.End.Before(to) {
+			continue
+		}
+		e, t, err := r.CarbonGrams(out.env.Carbon, out.env.Cat, tx)
+		if err != nil {
+			continue
+		}
+		sum += e + t
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+func majorityRegion(records []*platform.InvocationRecord, from, to time.Time) region.ID {
+	counts := map[region.ID]int{}
+	for _, r := range records {
+		if r.End.Before(from) || !r.End.Before(to) {
+			continue
+		}
+		for _, e := range r.Executions {
+			counts[e.Region]++
+		}
+	}
+	var best region.ID
+	bestN := -1
+	for r, n := range counts {
+		if n > bestN || (n == bestN && r < best) {
+			best, bestN = r, n
+		}
+	}
+	return best
+}
+
+// PrintFig11 renders the decision/relative-carbon series.
+func PrintFig11(w io.Writer, results []Fig11Result) {
+	for _, res := range results {
+		fmt.Fprintf(w, "Fig 11 — adaptive week, %s-case scenario (framework overhead %.2f g)\n", res.Scenario, res.Overhead)
+		fmt.Fprintf(w, "DP generations at:")
+		for _, t := range res.SolveTimes {
+			fmt.Fprintf(w, " %s", t.Format("01-02 15:04"))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-18s %-16s %6s %10s %10s %10s\n",
+			"bin", "majority-region", "inv", "caribou", "us-west-1", "us-west-2")
+		for _, b := range res.Bins {
+			fmt.Fprintf(w, "%-18s %-16s %6d %10.3f %10.3f %10.3f\n",
+				b.Start.Format("01-02 15:04"), shortRegion(b.MajorityRegion), b.Invocations,
+				b.RelCarbon["caribou"], b.RelCarbon["us-west-1"], b.RelCarbon["us-west-2"])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func shortRegion(r region.ID) string {
+	if len(r) > 4 {
+		return string(r)[4:]
+	}
+	return string(r)
+}

@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"caribou/internal/core"
+	"caribou/internal/executor"
+	"caribou/internal/region"
+	"caribou/internal/stats"
+	"caribou/internal/workloads"
+)
+
+// Fig 12: workflow execution time under AWS Step Functions, plain SNS
+// chaining, and Caribou, isolating orchestration overhead (§9.6). All
+// three run the same workloads with common random numbers in the home
+// region.
+
+// Fig12Row is one bar group member.
+type Fig12Row struct {
+	Workload    string
+	Class       workloads.InputClass
+	Mode        string
+	MeanSeconds float64
+	P95Seconds  float64
+}
+
+// Fig12Options scales the experiment.
+type Fig12Options struct {
+	Workloads   []*workloads.Workload
+	Classes     []workloads.InputClass
+	Invocations int
+	Seed        int64
+}
+
+// Fig12 measures all mode/workload/class combinations.
+func Fig12(opt Fig12Options) ([]Fig12Row, error) {
+	if len(opt.Workloads) == 0 {
+		opt.Workloads = workloads.All()
+	}
+	if len(opt.Classes) == 0 {
+		opt.Classes = workloads.Classes()
+	}
+	if opt.Invocations == 0 {
+		opt.Invocations = 60
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 17
+	}
+	modes := []executor.Mode{executor.ModeStepFunctions, executor.ModePlainSNS, executor.ModeCaribou}
+	var rows []Fig12Row
+	for _, wl := range opt.Workloads {
+		for _, class := range opt.Classes {
+			for _, mode := range modes {
+				mean, p95, err := fig12Run(wl, class, mode, opt)
+				if err != nil {
+					return nil, fmt.Errorf("fig12 %s/%s/%s: %w", wl.Name, class, mode, err)
+				}
+				rows = append(rows, Fig12Row{
+					Workload: wl.Name, Class: class, Mode: mode.String(),
+					MeanSeconds: mean, P95Seconds: p95,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func fig12Run(wl *workloads.Workload, class workloads.InputClass, mode executor.Mode, opt Fig12Options) (mean, p95 float64, err error) {
+	env, err := core.NewEnv(core.EnvConfig{
+		Seed:    opt.Seed,
+		Start:   EvalStart,
+		End:     EvalStart.Add(24 * time.Hour),
+		Regions: region.EvaluationFour(),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	app, err := env.NewApp(core.AppConfig{
+		Workload:      wl,
+		Home:          region.USEast1,
+		Mode:          mode,
+		Seed:          opt.Seed,
+		BenchFraction: -1, // pure home execution in all modes
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	gap := 24 * time.Hour / time.Duration(opt.Invocations)
+	app.ScheduleUniform(EvalStart, opt.Invocations, gap, class)
+	env.Run()
+	if len(app.Records) < opt.Invocations {
+		return 0, 0, fmt.Errorf("completed %d of %d", len(app.Records), opt.Invocations)
+	}
+	var svc []float64
+	for _, r := range app.Records {
+		svc = append(svc, r.ServiceTime().Seconds())
+	}
+	p, err := stats.Percentile(svc, 95)
+	if err != nil {
+		return 0, 0, err
+	}
+	return stats.Mean(svc), p, nil
+}
+
+// Fig12Overheads summarizes the §9.6 headline percentages per class:
+// Step Functions' speedup over SNS, and Caribou's overhead over SNS and
+// over Step Functions (all geometric means across workloads).
+type Fig12Overheads struct {
+	Class              workloads.InputClass
+	SFFasterThanSNSPct float64
+	CaribouOverSNSPct  float64
+	CaribouOverSFPct   float64
+}
+
+// SummarizeFig12 derives the overhead percentages.
+func SummarizeFig12(rows []Fig12Row) []Fig12Overheads {
+	type key struct {
+		wl    string
+		class workloads.InputClass
+	}
+	means := map[key]map[string]float64{}
+	classes := map[workloads.InputClass]bool{}
+	for _, r := range rows {
+		k := key{r.Workload, r.Class}
+		if means[k] == nil {
+			means[k] = map[string]float64{}
+		}
+		means[k][r.Mode] = r.MeanSeconds
+		classes[r.Class] = true
+	}
+	var out []Fig12Overheads
+	for _, class := range workloads.Classes() {
+		if !classes[class] {
+			continue
+		}
+		var snsOverSF, cbOverSNS, cbOverSF []float64
+		for k, m := range means {
+			if k.class != class {
+				continue
+			}
+			sf, sns, cb := m["stepfunctions"], m["sns"], m["caribou"]
+			if sf <= 0 || sns <= 0 || cb <= 0 {
+				continue
+			}
+			snsOverSF = append(snsOverSF, sns/sf)
+			cbOverSNS = append(cbOverSNS, cb/sns)
+			cbOverSF = append(cbOverSF, cb/sf)
+		}
+		g1, err1 := stats.GeometricMean(snsOverSF)
+		g2, err2 := stats.GeometricMean(cbOverSNS)
+		g3, err3 := stats.GeometricMean(cbOverSF)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		out = append(out, Fig12Overheads{
+			Class:              class,
+			SFFasterThanSNSPct: (1 - 1/g1) * 100,
+			CaribouOverSNSPct:  (g2 - 1) * 100,
+			CaribouOverSFPct:   (g3 - 1) * 100,
+		})
+	}
+	return out
+}
+
+// PrintFig12 renders the comparison and headline overheads.
+func PrintFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintf(w, "Fig 12 — workflow execution time by orchestrator\n")
+	fmt.Fprintf(w, "%-24s %-6s %-14s %10s %10s\n", "workload", "class", "orchestrator", "mean(s)", "p95(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %-6s %-14s %10.3f %10.3f\n", r.Workload, r.Class, r.Mode, r.MeanSeconds, r.P95Seconds)
+	}
+	for _, o := range SummarizeFig12(rows) {
+		fmt.Fprintf(w, "\n%s inputs: Step Functions %.1f%% faster than SNS; Caribou +%.2f%% over SNS; +%.2f%% over Step Functions\n",
+			o.Class, o.SFFasterThanSNSPct, o.CaribouOverSNSPct, o.CaribouOverSFPct)
+	}
+}

@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"caribou/internal/carbon"
+	"caribou/internal/region"
+	"caribou/internal/stats"
+	"caribou/internal/workloads"
+)
+
+// Fig 7: normalized relative carbon versus deploying everything in
+// us-east-1, for manual coarse single-region deployments and Caribou
+// fine-grained deployments over different region sets, for both input
+// sizes and both transmission-carbon scenarios.
+
+// Fig7Row is one bar of Fig 7.
+type Fig7Row struct {
+	Workload   string
+	Class      workloads.InputClass
+	Strategy   string
+	Scenario   string // "best" or "worst"
+	Normalized float64
+	// AbsoluteGrams is the per-invocation carbon before normalizing.
+	AbsoluteGrams float64
+}
+
+// Fig7Strategies lists the deployment treatments in the figure's legend
+// order.
+func Fig7Strategies() []struct {
+	Name    string
+	Coarse  region.ID
+	Regions []region.ID
+} {
+	e1, w1, w2, ca := region.USEast1, region.USWest1, region.USWest2, region.CACentral1
+	return []struct {
+		Name    string
+		Coarse  region.ID
+		Regions []region.ID
+	}{
+		{"coarse(us-east-1)", e1, []region.ID{e1}},
+		{"coarse(us-west-1)", w1, []region.ID{e1, w1}},
+		{"coarse(us-west-2)", w2, []region.ID{e1, w2}},
+		{"coarse(ca-central-1)", ca, []region.ID{e1, ca}},
+		{"fine(us-east-1,us-west-1)", "", []region.ID{e1, w1}},
+		{"fine(us-east-1,us-west-2)", "", []region.ID{e1, w2}},
+		{"fine(us-east-1,us-west-1,us-west-2)", "", []region.ID{e1, w1, w2}},
+		{"fine(us-east-1,ca-central-1)", "", []region.ID{e1, ca}},
+		{"fine(all)", "", []region.ID{e1, w1, w2, ca}},
+	}
+}
+
+// scenarios pairs the accounting models of Fig 7's two bar styles.
+func scenarios() []struct {
+	Name string
+	Tx   carbon.TransmissionModel
+} {
+	return []struct {
+		Name string
+		Tx   carbon.TransmissionModel
+	}{
+		{"best", carbon.BestCase()},
+		{"worst", carbon.WorstCase()},
+	}
+}
+
+// Fig7Options scales the experiment.
+type Fig7Options struct {
+	Workloads []*workloads.Workload // default: all five
+	Classes   []workloads.InputClass
+	PerDay    int
+	Seed      int64
+}
+
+// Fig7 runs the full geospatial-shifting comparison. The baseline of each
+// (workload, class, scenario) group is the coarse us-east-1 run accounted
+// under the same scenario.
+func Fig7(opt Fig7Options) ([]Fig7Row, error) {
+	if len(opt.Workloads) == 0 {
+		opt.Workloads = workloads.All()
+	}
+	if len(opt.Classes) == 0 {
+		opt.Classes = workloads.Classes()
+	}
+	var rows []Fig7Row
+	for _, wl := range opt.Workloads {
+		for _, class := range opt.Classes {
+			group, err := fig7Group(wl, class, opt)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%s: %w", wl.Name, class, err)
+			}
+			rows = append(rows, group...)
+		}
+	}
+	return rows, nil
+}
+
+func fig7Group(wl *workloads.Workload, class workloads.InputClass, opt Fig7Options) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	baseline := map[string]float64{} // scenario -> grams
+
+	for _, strat := range Fig7Strategies() {
+		for _, sc := range scenarios() {
+			// Coarse deployments do not depend on the planning
+			// scenario; reuse one run for both accountings by
+			// keying the run on the planning model only for fine.
+			res, err := Run(RunConfig{
+				Workload: wl,
+				Class:    class,
+				Regions:  strat.Regions,
+				Strategy: Strategy{Coarse: strat.Coarse},
+				PlanTx:   sc.Tx,
+				PerDay:   opt.PerDay,
+				Seed:     opt.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sum, err := res.Summarize(sc.Tx)
+			if err != nil {
+				return nil, err
+			}
+			if strat.Name == "coarse(us-east-1)" {
+				baseline[sc.Name] = sum.MeanCarbonG
+			}
+			base := baseline[sc.Name]
+			norm := 0.0
+			if base > 0 {
+				norm = sum.MeanCarbonG / base
+			}
+			rows = append(rows, Fig7Row{
+				Workload: wl.Name, Class: class, Strategy: strat.Name,
+				Scenario: sc.Name, Normalized: norm, AbsoluteGrams: sum.MeanCarbonG,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Geomeans summarizes the headline result: geometric-mean carbon
+// reduction of the fine(all) strategy per scenario across workloads and
+// classes (the paper reports 22.9 % worst-case and 66.6 % best-case).
+func Fig7Geomeans(rows []Fig7Row) map[string]float64 {
+	group := map[string][]float64{}
+	for _, r := range rows {
+		if r.Strategy == "fine(all)" && r.Normalized > 0 {
+			group[r.Scenario] = append(group[r.Scenario], r.Normalized)
+		}
+	}
+	out := map[string]float64{}
+	for sc, xs := range group {
+		g, err := stats.GeometricMean(xs)
+		if err == nil {
+			out[sc] = g
+		}
+	}
+	return out
+}
+
+// PrintFig7 renders rows in the figure's grouping.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Workload != rows[j].Workload {
+			return rows[i].Workload < rows[j].Workload
+		}
+		if rows[i].Class != rows[j].Class {
+			return rows[i].Class < rows[j].Class
+		}
+		return false
+	})
+	fmt.Fprintf(w, "Fig 7 — carbon normalized to coarse(us-east-1), per transmission scenario\n")
+	last := ""
+	for _, r := range rows {
+		key := r.Workload + "/" + string(r.Class)
+		if key != last {
+			fmt.Fprintf(w, "\n%s\n", key)
+			last = key
+		}
+		fmt.Fprintf(w, "  %-40s %-6s %6.3f  (%.5f g/inv)\n", r.Strategy, r.Scenario, r.Normalized, r.AbsoluteGrams)
+	}
+	gm := Fig7Geomeans(rows)
+	fmt.Fprintf(w, "\nGeomean fine(all): best-case %.3f (%.1f%% reduction), worst-case %.3f (%.1f%% reduction)\n",
+		gm["best"], (1-gm["best"])*100, gm["worst"], (1-gm["worst"])*100)
+}

@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"caribou/internal/carbon"
+	"caribou/internal/stats"
+	"caribou/internal/workloads"
+)
+
+// Fig 9: geometric-mean normalized carbon across the five workflows for
+// different transmission energy factors, under two factor structures:
+// equal intra/inter-region factors and free intra-region transmission.
+
+// Fig9Point is one sweep sample.
+type Fig9Point struct {
+	Scenario  string // "equal" or "free-intra"
+	Class     workloads.InputClass
+	FactorKWh float64
+	// Geomean of Caribou's carbon normalized to the home deployment.
+	Geomean float64
+}
+
+// Fig9Options scales the sweep.
+type Fig9Options struct {
+	Factors   []float64
+	Workloads []*workloads.Workload
+	Classes   []workloads.InputClass
+	PerDay    int
+	Seed      int64
+}
+
+// DefaultFig9Factors spans the figure's x-axis (kWh/GB).
+func DefaultFig9Factors() []float64 {
+	return []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+}
+
+// Fig9 runs the sweep. For each (scenario, factor, class) the geometric
+// mean is over workloads of Caribou-fine carbon normalized to the home
+// deployment, both accounted under the swept factor model.
+func Fig9(opt Fig9Options) ([]Fig9Point, error) {
+	if len(opt.Factors) == 0 {
+		opt.Factors = DefaultFig9Factors()
+	}
+	if len(opt.Workloads) == 0 {
+		opt.Workloads = workloads.All()
+	}
+	if len(opt.Classes) == 0 {
+		opt.Classes = workloads.Classes()
+	}
+	models := []struct {
+		name string
+		mk   func(f float64) carbon.TransmissionModel
+	}{
+		{"equal", carbon.Uniform},
+		{"free-intra", carbon.FreeIntra},
+	}
+	var points []Fig9Point
+	for _, m := range models {
+		for _, class := range opt.Classes {
+			for _, f := range opt.Factors {
+				tx := m.mk(f)
+				var norms []float64
+				for _, wl := range opt.Workloads {
+					home, err := Run(RunConfig{
+						Workload: wl, Class: class,
+						Strategy: CoarseIn("aws:us-east-1"),
+						PlanTx:   tx, PerDay: opt.PerDay, Seed: opt.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("fig9 %s home: %w", wl.Name, err)
+					}
+					homeSum, err := home.Summarize(tx)
+					if err != nil {
+						return nil, err
+					}
+					fine, err := Run(RunConfig{
+						Workload: wl, Class: class,
+						Strategy: Fine,
+						PlanTx:   tx, PerDay: opt.PerDay, Seed: opt.Seed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("fig9 %s fine: %w", wl.Name, err)
+					}
+					fineSum, err := fine.Summarize(tx)
+					if err != nil {
+						return nil, err
+					}
+					if homeSum.MeanCarbonG > 0 {
+						norms = append(norms, fineSum.MeanCarbonG/homeSum.MeanCarbonG)
+					}
+				}
+				g, err := stats.GeometricMean(norms)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, Fig9Point{
+					Scenario: m.name, Class: class, FactorKWh: f, Geomean: g,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// PrintFig9 renders the sweep.
+func PrintFig9(w io.Writer, points []Fig9Point) {
+	fmt.Fprintf(w, "Fig 9 — geomean normalized carbon vs transmission energy factor\n")
+	fmt.Fprintf(w, "%-12s %-6s %12s %10s\n", "scenario", "class", "kWh/GB", "geomean")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12s %-6s %12.0e %10.3f\n", p.Scenario, p.Class, p.FactorKWh, p.Geomean)
+	}
+}

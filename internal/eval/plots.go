@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"caribou/internal/termplot"
+	"caribou/internal/workloads"
+)
+
+// Terminal renderings of the figures' shapes, enabled by caribou-eval's
+// -plot flag. The tabular printers remain the canonical output; these
+// charts exist so "who wins and where the crossovers fall" is visible at
+// a glance.
+
+// PlotFig2 draws the four regions' intensity traces as one line chart.
+func PlotFig2(w io.Writer, series []Fig2Series) {
+	var ts []termplot.Series
+	for _, s := range series {
+		ts = append(ts, termplot.Series{Name: shortRegion(s.Region), Values: s.Values})
+	}
+	termplot.Line(w, "Fig 2 — grid carbon intensity (gCO2eq/kWh)", ts, 100, 14)
+}
+
+// PlotFig7 draws, per workload/class/scenario group, the normalized
+// carbon of each strategy as horizontal bars.
+func PlotFig7(w io.Writer, rows []Fig7Row) {
+	type key struct {
+		wl    string
+		class workloads.InputClass
+		scen  string
+	}
+	groups := map[key][]Fig7Row{}
+	var keys []key
+	for _, r := range rows {
+		k := key{r.Workload, r.Class, r.Scenario}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.wl != b.wl {
+			return a.wl < b.wl
+		}
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		return a.scen < b.scen
+	})
+	for _, k := range keys {
+		var labels []string
+		var values []float64
+		for _, r := range groups[k] {
+			labels = append(labels, r.Strategy)
+			values = append(values, r.Normalized)
+		}
+		termplot.Bars(w, fmt.Sprintf("Fig 7 — %s/%s (%s-case), carbon vs coarse(us-east-1)", k.wl, k.class, k.scen),
+			labels, values, 50)
+		fmt.Fprintln(w)
+	}
+}
+
+// PlotFig9 draws the factor sweep: one line per (scenario, class).
+func PlotFig9(w io.Writer, points []Fig9Point) {
+	series := map[string][]float64{}
+	var order []string
+	for _, p := range points {
+		name := p.Scenario + "/" + string(p.Class)
+		if _, ok := series[name]; !ok {
+			order = append(order, name)
+		}
+		series[name] = append(series[name], p.Geomean)
+	}
+	var ts []termplot.Series
+	for _, name := range order {
+		ts = append(ts, termplot.Series{Name: name, Values: series[name]})
+	}
+	termplot.Line(w, "Fig 9 — geomean normalized carbon vs tx energy factor (log-spaced x)", ts, 72, 12)
+}
+
+// PlotFig11 draws the relative-carbon trajectories of Caribou and the
+// coarse baselines as sparklines, one scenario at a time.
+func PlotFig11(w io.Writer, results []Fig11Result) {
+	for _, res := range results {
+		fmt.Fprintf(w, "Fig 11 — %s-case relative carbon over the week (sparklines)\n", res.Scenario)
+		for _, name := range []string{"caribou", "us-west-1", "us-west-2"} {
+			var vals []float64
+			for _, b := range res.Bins {
+				if v, ok := b.RelCarbon[name]; ok {
+					vals = append(vals, v)
+				}
+			}
+			fmt.Fprintf(w, "  %-10s %s\n", name, termplot.Sparkline(vals))
+		}
+	}
+}
+
+// PlotFig13b draws forecast MAPE against the solve frequency, one line
+// per region.
+func PlotFig13b(w io.Writer, rows []Fig13bRow) {
+	series := map[string][]float64{}
+	var order []string
+	for _, r := range rows {
+		name := shortRegion(r.Region)
+		if _, ok := series[name]; !ok {
+			order = append(order, name)
+		}
+		series[name] = append(series[name], r.MAPEPct)
+	}
+	var ts []termplot.Series
+	for _, name := range order {
+		ts = append(ts, termplot.Series{Name: name, Values: series[name]})
+	}
+	termplot.Line(w, "Fig 13b — forecast MAPE (%) vs solves per week", ts, 56, 10)
+}

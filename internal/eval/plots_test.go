@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"caribou/internal/region"
+	"caribou/internal/workloads"
+)
+
+func TestPlotFig2(t *testing.T) {
+	series := []Fig2Series{
+		{Region: region.USEast1, Values: []float64{400, 410, 420}},
+		{Region: region.CACentral1, Values: []float64{30, 32, 31}},
+	}
+	var sb strings.Builder
+	PlotFig2(&sb, series)
+	out := sb.String()
+	if !strings.Contains(out, "us-east-1") || !strings.Contains(out, "ca-central-1") {
+		t.Errorf("legend missing: %q", out)
+	}
+}
+
+func TestPlotFig7GroupsByWorkload(t *testing.T) {
+	rows := []Fig7Row{
+		{Workload: "a", Class: workloads.Small, Strategy: "coarse(us-east-1)", Scenario: "best", Normalized: 1},
+		{Workload: "a", Class: workloads.Small, Strategy: "fine(all)", Scenario: "best", Normalized: 0.3},
+		{Workload: "b", Class: workloads.Large, Strategy: "coarse(us-east-1)", Scenario: "worst", Normalized: 1},
+	}
+	var sb strings.Builder
+	PlotFig7(&sb, rows)
+	out := sb.String()
+	if strings.Count(out, "Fig 7 —") != 2 {
+		t.Errorf("want two group charts:\n%s", out)
+	}
+	if !strings.Contains(out, "fine(all)") {
+		t.Error("strategy label missing")
+	}
+}
+
+func TestPlotFig9AndFig13b(t *testing.T) {
+	var sb strings.Builder
+	PlotFig9(&sb, []Fig9Point{
+		{Scenario: "equal", Class: workloads.Small, FactorKWh: 1e-4, Geomean: 0.2},
+		{Scenario: "equal", Class: workloads.Small, FactorKWh: 1e-3, Geomean: 0.3},
+		{Scenario: "free-intra", Class: workloads.Small, FactorKWh: 1e-4, Geomean: 0.25},
+	})
+	if !strings.Contains(sb.String(), "equal/small") {
+		t.Errorf("series legend missing: %q", sb.String())
+	}
+
+	sb.Reset()
+	PlotFig13b(&sb, []Fig13bRow{
+		{SolvesPerWeek: 1, HorizonHours: 168, Region: region.USEast1, MAPEPct: 8},
+		{SolvesPerWeek: 7, HorizonHours: 24, Region: region.USEast1, MAPEPct: 5},
+	})
+	if !strings.Contains(sb.String(), "us-east-1") {
+		t.Errorf("region legend missing: %q", sb.String())
+	}
+}
+
+func TestPlotFig11Sparklines(t *testing.T) {
+	res := []Fig11Result{{
+		Scenario: "best",
+		Bins: []Fig11Bin{
+			{Start: time.Now(), RelCarbon: map[string]float64{"caribou": 0.4, "us-west-1": 1.0, "us-west-2": 1.1}},
+			{Start: time.Now(), RelCarbon: map[string]float64{"caribou": 0.3, "us-west-1": 0.9, "us-west-2": 1.0}},
+		},
+	}}
+	var sb strings.Builder
+	PlotFig11(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, "caribou") || !strings.Contains(out, "▁") && !strings.Contains(out, "█") {
+		t.Errorf("sparklines missing: %q", out)
+	}
+}

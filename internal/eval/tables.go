@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"caribou/internal/workloads"
+)
+
+// Table 1: benchmark workflow structures, synchronization/conditional
+// features, and input sizes.
+
+// Table1Row describes one benchmark.
+type Table1Row struct {
+	Benchmark  string
+	Stages     int
+	Edges      int
+	Sync       bool
+	Cond       bool
+	SmallInput string
+	LargeInput string
+}
+
+// Table1 derives the table from the workload definitions.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, wl := range workloads.All() {
+		rows = append(rows, Table1Row{
+			Benchmark:  wl.Name,
+			Stages:     wl.DAG.Len(),
+			Edges:      len(wl.DAG.Edges()),
+			Sync:       len(wl.DAG.SyncNodes()) > 0,
+			Cond:       wl.DAG.HasConditional(),
+			SmallInput: wl.InputLabel[workloads.Small],
+			LargeInput: wl.InputLabel[workloads.Large],
+		})
+	}
+	return rows
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1 — benchmark workflows\n")
+	fmt.Fprintf(w, "%-24s %6s %6s %5s %5s %12s %12s\n", "benchmark", "stages", "edges", "sync", "cond", "small", "large")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %6d %6d %5v %5v %12s %12s\n",
+			r.Benchmark, r.Stages, r.Edges, r.Sync, r.Cond, r.SmallInput, r.LargeInput)
+	}
+}
+
+// Table 2: capability taxonomy of serverless workflow deployment
+// frameworks. The comparison rows are documentation (other systems'
+// capabilities as the paper reports them); the Caribou row is asserted
+// against this implementation by the test suite.
+
+// Table2Row is one framework's capability set.
+type Table2Row struct {
+	Framework    string
+	Objectives   string
+	Granularity  string
+	DynMigration bool
+	Geospatial   bool
+	MultiStage   bool
+	ControlFlow  bool
+	SyncNodes    bool
+	TxOverhead   bool
+	Providers    string
+}
+
+// Table2 reproduces the taxonomy.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{"AWS Step Functions", "-", "coarse", false, false, true, true, true, false, "AWS"},
+		{"GCP Workflows", "-", "coarse", false, false, true, true, true, false, "Google"},
+		{"Azure Logic Apps", "-", "coarse", false, false, true, true, true, false, "Azure"},
+		{"Serverless Multicloud", "latency, cost", "fine", false, false, true, false, false, false, "AWS, Google, Alibaba"},
+		{"BPMN4FO", "-", "coarse", false, false, false, true, false, false, "AWS, Azure, IBM"},
+		{"xAFCL", "latency, cost", "fine", false, true, true, true, false, false, "AWS, Azure, IBM, Google, Alibaba"},
+		{"OpenTOSCA", "-", "coarse", false, false, true, true, true, false, "AWS, Azure, IBM, Google, ..."},
+		{"Carbon-Aware GSLB", "carbon", "coarse", false, true, false, false, false, false, "Azure"},
+		{"GreenCourier", "carbon", "coarse", false, true, false, false, false, false, "Google"},
+		{"Caribou", "carbon, latency, cost", "fine", true, true, true, true, true, true, "AWS (simulated)"},
+	}
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2 — framework capability taxonomy\n")
+	fmt.Fprintf(w, "%-22s %-22s %-7s %-4s %-4s %-6s %-5s %-5s %-4s %s\n",
+		"framework", "objectives", "gran", "mig", "geo", "stages", "ctrl", "sync", "tx", "providers")
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %-22s %-7s %-4s %-4s %-6s %-5s %-5s %-4s %s\n",
+			r.Framework, r.Objectives, r.Granularity,
+			mark(r.DynMigration), mark(r.Geospatial), mark(r.MultiStage),
+			mark(r.ControlFlow), mark(r.SyncNodes), mark(r.TxOverhead), r.Providers)
+	}
+}

@@ -1,0 +1,147 @@
+package executor
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/platform"
+	"caribou/internal/workloads"
+)
+
+// randomWorkload builds a layered DAG with randomized fan-out and
+// conditional edges from the quick-generated bits. Layer widths come from
+// widths (1-3 nodes); edge existence and conditionality come from bits.
+func randomWorkload(widths [3]uint8, bits uint64, probs [8]uint8) (*workloads.Workload, error) {
+	b := dag.NewBuilder("prop")
+	nodes := map[dag.NodeID]workloads.NodeProfile{}
+	edgeBytes := map[workloads.EdgeKey]map[workloads.InputClass]float64{}
+	prof := workloads.NodeProfile{
+		MeanDurationSec: map[workloads.InputClass]float64{workloads.Small: 0.3, workloads.Large: 0.3},
+		DurationSigma:   0.05, CPUUtil: 0.7, MemoryMB: 1024,
+	}
+	add := func(id dag.NodeID) {
+		b.AddNode(dag.Node{ID: id, MemoryMB: 1024})
+		nodes[id] = prof
+	}
+	add("root")
+	prev := []dag.NodeID{"root"}
+	bit := 0
+	nextBit := func() bool {
+		v := bits&(1<<uint(bit%64)) != 0
+		bit++
+		return v
+	}
+	pi := 0
+	nextProb := func() float64 {
+		p := float64(probs[pi%len(probs)]) / 255
+		pi++
+		return p
+	}
+	for li, w8 := range widths {
+		w := int(w8%3) + 1
+		var layer []dag.NodeID
+		for i := 0; i < w; i++ {
+			id := dag.NodeID(fmt.Sprintf("n%d-%d", li, i))
+			add(id)
+			connected := false
+			for _, p := range prev {
+				if nextBit() {
+					if nextBit() {
+						b.AddConditionalEdge(p, id, nextProb())
+					} else {
+						b.AddEdge(p, id)
+					}
+					edgeBytes[workloads.EdgeKey{From: p, To: id}] = map[workloads.InputClass]float64{workloads.Small: 1e4, workloads.Large: 1e4}
+					connected = true
+				}
+			}
+			if !connected {
+				b.AddEdge(prev[0], id)
+				edgeBytes[workloads.EdgeKey{From: prev[0], To: id}] = map[workloads.InputClass]float64{workloads.Small: 1e4, workloads.Large: 1e4}
+			}
+			layer = append(layer, id)
+		}
+		prev = layer
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &workloads.Workload{
+		Name:       "prop",
+		DAG:        d,
+		Nodes:      nodes,
+		EdgeBytes:  edgeBytes,
+		EntryBytes: map[workloads.InputClass]float64{workloads.Small: 1e3, workloads.Large: 1e3},
+		InputLabel: map[workloads.InputClass]string{workloads.Small: "s", workloads.Large: "l"},
+		ImageBytes: 1e8,
+	}, nil
+}
+
+// TestQuickRandomDAGsAlwaysComplete: for arbitrary layered DAGs with
+// arbitrary conditional structure, every invocation terminates, nothing
+// leaks, no stage executes twice, and a stage only executes if at least
+// one predecessor did (the root always does).
+func TestQuickRandomDAGsAlwaysComplete(t *testing.T) {
+	f := func(widths [3]uint8, bits uint64, probs [8]uint8) bool {
+		wl, err := randomWorkload(widths, bits, probs)
+		if err != nil {
+			// Random layered construction always yields a valid DAG;
+			// a build failure is itself a bug.
+			t.Logf("build failed: %v", err)
+			return false
+		}
+		sched, p := newTestEnv(t)
+		var recs []*platform.InvocationRecord
+		e := newEngine(t, p, wl, ModeCaribou, HomeOnly{}, &recs)
+		const n = 4
+		for i := 0; i < n; i++ {
+			e.InvokeAt(sched.Now().Add(time.Duration(i)*time.Minute), workloads.Small, nil)
+		}
+		sched.Run()
+		if len(recs) != n || e.Live() != 0 {
+			t.Logf("completed %d of %d, live %d", len(recs), n, e.Live())
+			return false
+		}
+		for _, r := range recs {
+			if !r.Succeeded {
+				t.Logf("invocation %d failed", r.ID)
+				return false
+			}
+			count := map[dag.NodeID]int{}
+			for _, ex := range r.Executions {
+				count[ex.Node]++
+			}
+			if count["root"] != 1 {
+				t.Logf("root executed %d times", count["root"])
+				return false
+			}
+			for node, c := range count {
+				if c != 1 {
+					t.Logf("node %s executed %d times", node, c)
+					return false
+				}
+				if node == "root" {
+					continue
+				}
+				anyPred := false
+				for _, in := range wl.DAG.In(node) {
+					if count[in.From] > 0 {
+						anyPred = true
+					}
+				}
+				if !anyPred {
+					t.Logf("node %s ran without any predecessor", node)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package executor
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/platform"
+	"caribou/internal/region"
+)
+
+// The synchronization protocol of §4: every edge into a synchronization
+// node is annotated "reached" or "skipped" in the distributed KV store by
+// the predecessor's wrapper (or by skip propagation). The condition of
+// Eq 4.1 — all incoming edges annotated and at least one reached — is
+// evaluated atomically with each annotation; the writer that completes the
+// set invokes (or skips) the synchronization node.
+
+// annotationKey names the KV entry holding a sync node's edge annotations
+// for one invocation.
+func (e *Engine) annotationKey(inv uint64, node dag.NodeID) string {
+	return fmt.Sprintf("sync/%s/%d/%s", e.wl.Name, inv, node)
+}
+
+// annotate atomically records the state of one incoming edge of a sync
+// node and reports whether this update completed the annotation set
+// (fire) and whether any edge was reached. fire is true for exactly one
+// annotate call per (invocation, node): the one that transitions the set
+// to complete.
+func (e *Engine) annotate(inv uint64, edge dag.Edge, reached bool) (fire, anyReached bool) {
+	key := e.annotationKey(inv, edge.To)
+	want := len(e.wl.DAG.In(edge.To))
+	edgeName := string(edge.From) + "->" + string(edge.To)
+	e.p.KV().Update(key, func(cur []byte, exists bool) ([]byte, bool) {
+		ann := map[string]bool{}
+		if exists {
+			if err := json.Unmarshal(cur, &ann); err != nil {
+				ann = map[string]bool{}
+			}
+		}
+		before := len(ann)
+		if _, dup := ann[edgeName]; !dup {
+			ann[edgeName] = reached
+		}
+		fire = before < want && len(ann) == want
+		anyReached = false
+		for _, r := range ann {
+			if r {
+				anyReached = true
+			}
+		}
+		next, err := json.Marshal(ann)
+		if err != nil {
+			return nil, false
+		}
+		return next, true
+	})
+	return fire, anyReached
+}
+
+// sendToSync stages the edge's intermediate data in the workflow KV table
+// at home, annotates the edge as reached, and — when this writer completes
+// the condition — publishes the invocation message to the sync node's plan
+// region. It returns the updated wrapper-time offset.
+func (e *Engine) sendToSync(inv *invocation, id uint64, edge dag.Edge, src region.ID, offset time.Duration) time.Duration {
+	now := e.p.Scheduler().Now()
+	bytes := e.wl.Bytes(edge.From, edge.To, inv.class)
+
+	// Stage intermediate data.
+	if bytes > 0 {
+		inv.rec.Services.KVWrites[e.home]++
+		inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+			Kind: platform.TransferKVData, From: src, To: e.home, FromNode: edge.From, ToNode: edge.To, Bytes: bytes, At: now.Add(offset),
+		})
+		store, err := e.p.Net().TransferTime(src, e.home, bytes)
+		if err == nil {
+			offset += store
+		}
+		offset += platform.KVAccessOverhead
+		inv.stagedBytes[edge.To] += bytes
+	}
+
+	// Atomic annotation update.
+	inv.rec.Services.KVWrites[e.home]++
+	offset += e.p.KVAccessLatency(src, e.home)
+	fire, anyReached := e.annotate(id, edge, true)
+
+	if fire {
+		// This writer completed the set; since it reached, the
+		// condition of Eq 4.1 holds and it invokes the sync node.
+		_ = anyReached // reached=true implies anyReached
+		offset = e.invokeSync(inv, id, edge.To, src, offset)
+	}
+	return offset
+}
+
+// invokeSync publishes the (small) invocation message for a satisfied
+// synchronization node to its plan region.
+func (e *Engine) invokeSync(inv *invocation, id uint64, node dag.NodeID, src region.ID, offset time.Duration) time.Duration {
+	syncRegion := e.resolveRegion(inv, node)
+	now := e.p.Scheduler().Now()
+	inv.rec.Services.SNSPublishes[src]++
+	inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+		Kind: platform.TransferControl, From: src, To: syncRegion, ToNode: node, Bytes: controlMessageBytes, At: now.Add(offset),
+	})
+	inv.pending++
+	latency := offset + publishCallLatency + e.p.MessageLatency(src, syncRegion, controlMessageBytes)
+	if err := e.publish(id, node, syncRegion, latency); err != nil {
+		inv.pending--
+		inv.rec.Succeeded = false
+	}
+	return offset + publishCallLatency
+}
+
+// skipEdge handles an untaken conditional edge (§4 conditional DAGs): if
+// the successor is a synchronization node the edge is annotated skipped
+// (possibly completing — and then firing or skipping — the node);
+// otherwise the successor will never run, and the skip propagates through
+// it toward every downstream synchronization node. All annotations are
+// written by the current wrapper (n_i in the paper's formulation).
+func (e *Engine) skipEdge(inv *invocation, id uint64, edge dag.Edge, src region.ID, offset time.Duration) time.Duration {
+	if e.wl.DAG.IsSync(edge.To) {
+		inv.rec.Services.KVWrites[e.home]++
+		offset += e.p.KVAccessLatency(src, e.home)
+		fire, anyReached := e.annotate(id, edge, false)
+		if fire {
+			if anyReached {
+				offset = e.invokeSync(inv, id, edge.To, src, offset)
+			} else {
+				// Every incoming edge was skipped: the sync node
+				// itself is skipped and the skip propagates.
+				offset = e.propagateSkipFrom(inv, id, edge.To, src, offset)
+			}
+		}
+		return offset
+	}
+	return e.propagateSkipFrom(inv, id, edge.To, src, offset)
+}
+
+// propagateSkipFrom treats node as skipped and recursively skips all of
+// its outgoing edges.
+func (e *Engine) propagateSkipFrom(inv *invocation, id uint64, node dag.NodeID, src region.ID, offset time.Duration) time.Duration {
+	for _, out := range e.wl.DAG.Out(node) {
+		offset = e.skipEdge(inv, id, out, src, offset)
+	}
+	return offset
+}

@@ -1,0 +1,163 @@
+// Package forecast implements Holt-Winters triple exponential smoothing,
+// used by the Metric Manager to forecast hourly grid carbon intensity one
+// day ahead from the previous week of data (§7.2). The additive-seasonal
+// form suits carbon intensity, whose diurnal swing is roughly constant in
+// absolute terms.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted Holt-Winters additive-seasonal model.
+type Model struct {
+	Alpha, Beta, Gamma float64
+	Period             int
+	level              float64
+	trend              float64
+	seasonal           []float64
+	n                  int // observations consumed
+}
+
+// NewModel returns an unfitted model with the given smoothing parameters
+// and seasonal period. Parameters must lie in (0, 1) and period must be at
+// least 2.
+func NewModel(alpha, beta, gamma float64, period int) (*Model, error) {
+	for _, p := range []float64{alpha, beta, gamma} {
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("forecast: smoothing parameter %v out of (0, 1)", p)
+		}
+	}
+	if period < 2 {
+		return nil, fmt.Errorf("forecast: period %d < 2", period)
+	}
+	return &Model{Alpha: alpha, Beta: beta, Gamma: gamma, Period: period}, nil
+}
+
+// Fit initializes components from the first two seasons and consumes the
+// remaining observations. It requires at least two full seasons of data.
+func (m *Model) Fit(data []float64) error {
+	p := m.Period
+	if len(data) < 2*p {
+		return fmt.Errorf("forecast: need at least %d observations, have %d", 2*p, len(data))
+	}
+	var s1, s2 float64
+	for i := 0; i < p; i++ {
+		s1 += data[i]
+		s2 += data[p+i]
+	}
+	s1 /= float64(p)
+	s2 /= float64(p)
+	m.level = s1
+	m.trend = (s2 - s1) / float64(p)
+	m.seasonal = make([]float64, p)
+	for i := 0; i < p; i++ {
+		m.seasonal[i] = data[i] - s1
+	}
+	m.n = p
+	for _, x := range data[p:] {
+		m.Update(x)
+	}
+	return nil
+}
+
+// Update consumes one observation, advancing level, trend, and the
+// seasonal component for the current phase.
+func (m *Model) Update(x float64) {
+	i := m.n % m.Period
+	prevLevel := m.level
+	m.level = m.Alpha*(x-m.seasonal[i]) + (1-m.Alpha)*(m.level+m.trend)
+	m.trend = m.Beta*(m.level-prevLevel) + (1-m.Beta)*m.trend
+	m.seasonal[i] = m.Gamma*(x-m.level) + (1-m.Gamma)*m.seasonal[i]
+	m.n++
+}
+
+// Forecast returns the h-step-ahead point forecast (h >= 1).
+func (m *Model) Forecast(h int) float64 {
+	if m.seasonal == nil || h < 1 {
+		return m.level
+	}
+	i := (m.n + h - 1) % m.Period
+	return m.level + float64(h)*m.trend + m.seasonal[i]
+}
+
+// ForecastRange returns point forecasts for steps 1..h.
+func (m *Model) ForecastRange(h int) []float64 {
+	out := make([]float64, h)
+	for i := 1; i <= h; i++ {
+		out[i-1] = m.Forecast(i)
+	}
+	return out
+}
+
+// Fit selects smoothing parameters by coarse grid search minimizing
+// one-step-ahead squared error over the training data, then returns the
+// fitted model. This is how the Metric Manager refits daily.
+func Fit(data []float64, period int) (*Model, error) {
+	if len(data) < 2*period {
+		return nil, fmt.Errorf("forecast: need at least %d observations, have %d", 2*period, len(data))
+	}
+	grid := []float64{0.05, 0.15, 0.3, 0.5, 0.7}
+	betaGrid := []float64{0.01, 0.05, 0.15}
+	best := math.Inf(1)
+	var bestModel *Model
+	for _, a := range grid {
+		for _, b := range betaGrid {
+			for _, g := range grid {
+				sse, err := oneStepSSE(data, period, a, b, g)
+				if err != nil {
+					return nil, err
+				}
+				if sse < best {
+					best = sse
+					m, _ := NewModel(a, b, g, period)
+					if err := m.Fit(data); err != nil {
+						return nil, err
+					}
+					bestModel = m
+				}
+			}
+		}
+	}
+	return bestModel, nil
+}
+
+func oneStepSSE(data []float64, period int, a, b, g float64) (float64, error) {
+	m, err := NewModel(a, b, g, period)
+	if err != nil {
+		return 0, err
+	}
+	// Initialize on the first two seasons, then score the rest.
+	init := data[:2*period]
+	if err := m.Fit(init); err != nil {
+		return 0, err
+	}
+	var sse float64
+	for _, x := range data[2*period:] {
+		f := m.Forecast(1)
+		d := x - f
+		sse += d * d
+		m.Update(x)
+	}
+	return sse, nil
+}
+
+// Naive is a persistence baseline: tomorrow's hourly values equal
+// today's. It grounds the ablation of Holt-Winters against the simplest
+// alternative (Fig 13b discussion).
+func Naive(data []float64, period, h int) []float64 {
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		// Value one full period back from the forecasted step.
+		idx := len(data) - period + (i % period)
+		for idx >= len(data) {
+			idx -= period
+		}
+		if idx < 0 {
+			idx = len(data) - 1
+		}
+		out[i] = data[idx]
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"caribou/internal/stats"
+)
+
+// synth builds a seasonal series: level + trend*t + amp*sin(2πt/period).
+func synth(n, period int, level, trend, amp float64) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = level + trend*float64(i) + amp*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	return out
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(0, 0.1, 0.1, 24); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewModel(0.5, 1, 0.1, 24); err == nil {
+		t.Error("beta 1 accepted")
+	}
+	if _, err := NewModel(0.5, 0.1, 0.1, 1); err == nil {
+		t.Error("period 1 accepted")
+	}
+}
+
+func TestFitRequiresTwoSeasons(t *testing.T) {
+	m, _ := NewModel(0.3, 0.05, 0.3, 24)
+	if err := m.Fit(make([]float64, 47)); err == nil {
+		t.Error("want error for <2 seasons")
+	}
+	if _, err := Fit(make([]float64, 10), 24); err == nil {
+		t.Error("grid Fit should also reject short data")
+	}
+}
+
+func TestForecastTracksSeasonalSeries(t *testing.T) {
+	const period = 24
+	data := synth(7*period, period, 400, 0.05, 60)
+	m, err := Fit(data, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecast the next day and compare with the true continuation.
+	var actual []float64
+	for i := 0; i < period; i++ {
+		k := len(data) + i
+		actual = append(actual, 400+0.05*float64(k)+60*math.Sin(2*math.Pi*float64(k)/float64(period)))
+	}
+	pred := m.ForecastRange(period)
+	mape, err := stats.MAPE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mape > 3 {
+		t.Errorf("MAPE on clean seasonal series = %.2f%%, want < 3%%", mape)
+	}
+}
+
+func TestForecastPhaseAlignment(t *testing.T) {
+	// A pure square-wave season: forecasting h and h+period must return
+	// (nearly) the same phase value.
+	const period = 8
+	var data []float64
+	for i := 0; i < 6*period; i++ {
+		v := 10.0
+		if i%period < period/2 {
+			v = 20.0
+		}
+		data = append(data, v)
+	}
+	m, err := Fit(data, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= period; h++ {
+		a := m.Forecast(h)
+		b := m.Forecast(h + period)
+		if math.Abs(a-b) > 1.0 {
+			t.Errorf("h=%d: forecast %v vs %v one period later", h, a, b)
+		}
+	}
+}
+
+func TestUpdateAdvancesPhase(t *testing.T) {
+	const period = 4
+	data := synth(4*period, period, 100, 0, 10)
+	m, err := Fit(data, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Forecast(2)
+	m.Update(data[0]) // consume one more observation
+	after := m.Forecast(1)
+	if math.Abs(before-after) > 8 {
+		t.Errorf("phase shift too large: %v vs %v", before, after)
+	}
+}
+
+func TestForecastDefensiveInputs(t *testing.T) {
+	var m Model
+	if v := m.Forecast(1); v != 0 {
+		t.Errorf("unfitted forecast = %v", v)
+	}
+	data := synth(96, 24, 100, 0, 5)
+	fitted, err := Fit(data, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := fitted.Forecast(0); v != fitted.level {
+		t.Errorf("h=0 forecast = %v, want level", v)
+	}
+}
+
+func TestGridFitBeatsArbitraryParams(t *testing.T) {
+	const period = 24
+	data := synth(7*period, period, 300, 0.2, 40)
+	grid, err := Fit(data, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewModel(0.9, 0.9, 0.9, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score one-step error over a holdout continuation.
+	var cont []float64
+	for i := 0; i < 2*period; i++ {
+		k := len(data) + i
+		cont = append(cont, 300+0.2*float64(k)+40*math.Sin(2*math.Pi*float64(k)/float64(period)))
+	}
+	if err := bad.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	score := func(m *Model) float64 {
+		c := *m
+		seasonal := append([]float64(nil), m.seasonal...)
+		c.seasonal = seasonal
+		var sse float64
+		for _, x := range cont {
+			f := c.Forecast(1)
+			sse += (x - f) * (x - f)
+			c.Update(x)
+		}
+		return sse
+	}
+	if gs, bs := score(grid), score(bad); gs > bs*1.5 {
+		t.Errorf("grid-fit SSE %v much worse than arbitrary params %v", gs, bs)
+	}
+}
+
+func TestNaivePersistence(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	got := Naive(data, 4, 6)
+	want := []float64{5, 6, 7, 8, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("naive[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

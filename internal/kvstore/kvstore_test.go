@@ -1,0 +1,217 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("k"); ok {
+		t.Error("missing key resolved")
+	}
+	s.Put("k", []byte("v1"))
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("got %q ok=%v", v, ok)
+	}
+	s.Put("k", []byte("v2"))
+	v, _ = s.Get("k")
+	if string(v) != "v2" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Error("delete failed")
+	}
+	s.Delete("k") // idempotent
+	if s.Len() != 0 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Error("caller mutation leaked into store")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	if got := s.Incr("c", 3); got != 3 {
+		t.Errorf("incr = %d", got)
+	}
+	if got := s.Incr("c", -1); got != 2 {
+		t.Errorf("incr = %d", got)
+	}
+	if got := s.Counter("c"); got != 2 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := s.Counter("other"); got != 0 {
+		t.Errorf("fresh counter = %d", got)
+	}
+	s.Delete("c")
+	if got := s.Counter("c"); got != 0 {
+		t.Errorf("counter survived delete: %d", got)
+	}
+}
+
+func TestUpdateAtomicReadModifyWrite(t *testing.T) {
+	s := New()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Update("n", func(cur []byte, exists bool) ([]byte, bool) {
+					n := 0
+					if exists {
+						fmt.Sscanf(string(cur), "%d", &n)
+					}
+					return []byte(fmt.Sprintf("%d", n+1)), true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := s.Get("n")
+	var n int
+	fmt.Sscanf(string(v), "%d", &n)
+	if n != workers*perWorker {
+		t.Errorf("lost updates: %d, want %d", n, workers*perWorker)
+	}
+}
+
+func TestUpdateSkipWrite(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("keep"))
+	s.Update("k", func(cur []byte, exists bool) ([]byte, bool) {
+		return []byte("discard"), false
+	})
+	v, _ := s.Get("k")
+	if string(v) != "keep" {
+		t.Errorf("write-skip ignored: %q", v)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := New()
+	// nil old = create-if-absent.
+	if !s.CompareAndSwap("k", nil, []byte("a")) {
+		t.Error("create-if-absent failed")
+	}
+	if s.CompareAndSwap("k", nil, []byte("b")) {
+		t.Error("create-if-absent succeeded on existing key")
+	}
+	if s.CompareAndSwap("k", []byte("wrong"), []byte("b")) {
+		t.Error("CAS succeeded with wrong old value")
+	}
+	if !s.CompareAndSwap("k", []byte("a"), []byte("b")) {
+		t.Error("CAS failed with matching old value")
+	}
+	v, _ := s.Get("k")
+	if string(v) != "b" {
+		t.Errorf("value = %q", v)
+	}
+	if s.CompareAndSwap("missing", []byte("x"), []byte("y")) {
+		t.Error("CAS succeeded on missing key with non-nil old")
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := New()
+	s.Put("dp/a", nil)
+	s.Put("dp/b", nil)
+	s.Put("sync/x", nil)
+	keys := s.Keys("dp/")
+	if len(keys) != 2 || keys[0] != "dp/a" || keys[1] != "dp/b" {
+		t.Errorf("keys = %v", keys)
+	}
+	if got := s.Keys("zz/"); len(got) != 0 {
+		t.Errorf("unexpected keys %v", got)
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	s := New()
+	type payload struct {
+		A int
+		B string
+	}
+	if err := s.PutJSON("j", payload{A: 7, B: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	ok, err := s.GetJSON("j", &out)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if out.A != 7 || out.B != "x" {
+		t.Errorf("decoded %+v", out)
+	}
+	ok, err = s.GetJSON("missing", &out)
+	if err != nil || ok {
+		t.Errorf("missing: ok=%v err=%v", ok, err)
+	}
+	s.Put("bad", []byte("{not json"))
+	if ok, err := s.GetJSON("bad", &out); !ok || err == nil {
+		t.Errorf("bad JSON: ok=%v err=%v", ok, err)
+	}
+	if err := s.PutJSON("nope", make(chan int)); err == nil {
+		t.Error("want marshal error")
+	}
+}
+
+func TestStatsCountAccesses(t *testing.T) {
+	s := New()
+	s.Put("a", nil)
+	s.Get("a")
+	s.Incr("c", 1)
+	r, w := s.Stats()
+	if r == 0 || w == 0 {
+		t.Errorf("stats r=%d w=%d", r, w)
+	}
+}
+
+func TestQuickCASOnlySucceedsWithMatchingOld(t *testing.T) {
+	f := func(initial, old, next []byte) bool {
+		s := New()
+		s.Put("k", initial)
+		ok := s.CompareAndSwap("k", old, next)
+		v, _ := s.Get("k")
+		if string(initial) == string(old) && old != nil {
+			return ok && string(v) == string(next)
+		}
+		return !ok && string(v) == string(initial)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentIncr(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Incr("c", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("c"); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}

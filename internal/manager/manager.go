@@ -1,0 +1,360 @@
+// Package manager implements Caribou's Deployment Manager (§5.2, Fig 6):
+// a token-bucket controller that self-regulates how often new deployment
+// plans are generated so that the framework's own carbon overhead (plan
+// solving, metric collection, migration) stays below the savings the
+// plans produce. Tokens denominate grams of CO2-eq: they accrue from
+// recent invocation volume and runtime weighted by the carbon-intensity
+// differential between the home region and the greenest reachable region,
+// and are spent on deployment-plan generation, whose cost scales with DAG
+// complexity and the framework's own region intensity.
+package manager
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/dag"
+	"caribou/internal/deployer"
+	"caribou/internal/metrics"
+	"caribou/internal/region"
+	"caribou/internal/solver"
+)
+
+// Config tunes the control loop.
+type Config struct {
+	// FrameworkRegion hosts the Deployment Manager and solver functions;
+	// their execution carbon is charged at this region's intensity.
+	FrameworkRegion region.ID
+	// MinCheckInterval and MaxCheckInterval bound the sigmoid-smoothed
+	// next-check schedule.
+	MinCheckInterval time.Duration
+	MaxCheckInterval time.Duration
+	// InitialTokens jump-starts the learning phase so the first solve
+	// can happen before savings have been realized.
+	InitialTokens float64
+	// SolveSecondsPerEstimate calibrates the solver's own compute cost:
+	// wall seconds of framework Lambda time per candidate-plan
+	// estimate. The paper reports ~534 s for a 24-solve generation of
+	// the Text2Speech DAG in Python and ~276 s with the Go Monte Carlo
+	// engine; the default matches the Go implementation.
+	SolveSecondsPerEstimate float64
+	// SolverMemoryMB and SolverUtil describe the solver function.
+	SolverMemoryMB float64
+	SolverUtil     float64
+	// PlanValidity is the minimum lifetime of an activated plan set;
+	// plans normally live until the next token check expires them.
+	PlanValidity time.Duration
+}
+
+func (c Config) withDefaults(home region.ID) Config {
+	if c.FrameworkRegion == "" {
+		c.FrameworkRegion = home
+	}
+	if c.MinCheckInterval <= 0 {
+		c.MinCheckInterval = 6 * time.Hour
+	}
+	if c.MaxCheckInterval <= 0 {
+		c.MaxCheckInterval = 48 * time.Hour
+	}
+	if c.SolveSecondsPerEstimate <= 0 {
+		c.SolveSecondsPerEstimate = 276.0 / (24 * 144) // §9.7, Go engine
+	}
+	if c.SolverMemoryMB <= 0 {
+		c.SolverMemoryMB = 1769
+	}
+	if c.SolverUtil <= 0 {
+		c.SolverUtil = 0.95
+	}
+	if c.PlanValidity <= 0 {
+		c.PlanValidity = 24 * time.Hour
+	}
+	return c
+}
+
+// IntensityProvider supplies current grid intensity per region; the
+// Metric Manager satisfies it.
+type IntensityProvider interface {
+	IntensityAt(r region.ID, t, now time.Time) (float64, error)
+	Catalogue() *region.Catalogue
+}
+
+// Manager runs the token-bucket control loop for one workflow.
+type Manager struct {
+	cfg  Config
+	mm   *metrics.Manager
+	solv *solver.Solver
+	dep  *deployer.Deployer
+	home region.ID
+
+	tokens     float64
+	lastCheck  time.Time
+	nextCheck  time.Time
+	lastEarned float64 // tokens earned in the most recent period
+
+	solves     int
+	solveSkips int
+	// lastPlans and stabilityFactor implement the learning-phase
+	// behaviour of Fig 11: while consecutive solves produce similar
+	// 24-hour plan sets, checks back off multiplicatively; a shift in
+	// the produced plans resets the cadence.
+	lastPlans       *dag.HourlyPlans
+	stabilityFactor float64
+	// OverheadGrams accumulates the framework's own operational carbon:
+	// solver executions and migration transfers.
+	OverheadGrams float64
+	// OnSolve, when set, observes each completed solve.
+	OnSolve func(now time.Time, plans dag.HourlyPlans, results []solver.Result)
+}
+
+// New wires a manager. start seeds the first check time.
+func New(cfg Config, mm *metrics.Manager, solv *solver.Solver, dep *deployer.Deployer, home region.ID, start time.Time) *Manager {
+	cfg = cfg.withDefaults(home)
+	return &Manager{
+		cfg:             cfg,
+		mm:              mm,
+		solv:            solv,
+		dep:             dep,
+		home:            home,
+		tokens:          cfg.InitialTokens,
+		lastCheck:       start,
+		nextCheck:       start.Add(cfg.MinCheckInterval),
+		stabilityFactor: 1,
+	}
+}
+
+// NextCheck reports when the next token check is due.
+func (m *Manager) NextCheck() time.Time { return m.nextCheck }
+
+// Tokens reports the current carbon budget in grams.
+func (m *Manager) Tokens() float64 { return m.tokens }
+
+// Solves reports how many plan generations have run.
+func (m *Manager) Solves() int { return m.solves }
+
+// Tick runs the Fig 6 loop at the current virtual time: when a check is
+// due it expires the active plan, collects metrics, converts them into
+// tokens, solves if the budget suffices, and schedules the next check. It
+// reports whether a new plan set was activated.
+func (m *Manager) Tick(now time.Time) (bool, error) {
+	if now.Before(m.nextCheck) {
+		// Between checks the Migrator retries any staged rollout.
+		if m.dep.HasPending() {
+			if err := m.dep.RetryPending(); err != nil {
+				return false, nil // keep waiting; home fallback serves traffic
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+
+	periodHours := now.Sub(m.lastCheck).Hours()
+	if periodHours <= 0 {
+		periodHours = m.cfg.MinCheckInterval.Hours()
+	}
+
+	// A due check expires the pre-determined deployment: traffic routes
+	// home until (and unless) a fresh plan activates (§5.2).
+	m.dep.Expire()
+
+	// Collect metrics → tokens.
+	earned, err := m.earnTokens(now)
+	if err != nil {
+		return false, fmt.Errorf("manager: token accrual: %w", err)
+	}
+	m.tokens += earned
+	m.lastEarned = earned
+
+	cost := m.solveCost(now, true)
+	// The next check time is fixed before solving so the fresh plans can
+	// live exactly until that check expires them (§5.2: a due check
+	// expires the pre-determined deployment).
+	interval := m.checkInterval(cost, periodHours)
+	validity := interval + time.Hour // slack so the check, not the clock, expires plans
+	if m.cfg.PlanValidity > validity {
+		validity = m.cfg.PlanValidity
+	}
+
+	activated := false
+	switch {
+	case m.tokens >= cost:
+		if err := m.solveAndRollout(now, true, validity); err == nil {
+			m.tokens -= cost
+			activated = true
+		}
+	case m.tokens >= m.solveCost(now, false):
+		// Budget covers only a coarse daily plan: one solve reused
+		// for all 24 hours (§5.2 granularity adaptation).
+		if err := m.solveAndRollout(now, false, validity); err == nil {
+			m.tokens -= m.solveCost(now, false)
+			activated = true
+		}
+	default:
+		m.solveSkips++
+	}
+
+	m.lastCheck = now
+	m.nextCheck = now.Add(interval)
+	return activated, nil
+}
+
+// earnTokens converts the last period's observed traffic into a carbon
+// budget: invocations × mean runtime × per-second execution energy ×
+// (home intensity − greenest intensity) × PUE. The sliding-window
+// assumption of §5.2 — next period resembles the last — is explicit here.
+func (m *Manager) earnTokens(now time.Time) (float64, error) {
+	invocations := m.mm.InvocationsSince(m.lastCheck)
+	if invocations == 0 {
+		return 0, nil
+	}
+	meanRuntime := m.mm.MeanRuntimeSince(m.lastCheck)
+
+	homeI, err := m.mm.IntensityAt(m.home, now, now)
+	if err != nil {
+		return 0, err
+	}
+	minI := homeI
+	for _, id := range m.mm.Catalogue().IDs() {
+		v, err := m.mm.IntensityAt(id, now, now)
+		if err != nil {
+			return 0, err
+		}
+		if v < minI {
+			minI = v
+		}
+	}
+	diff := homeI - minI
+	if diff <= 0 {
+		return 0, nil
+	}
+	// Representative per-second execution energy of one stage.
+	energyPerSec := carbon.ExecutionEnergyKWh(1769, 1, 0.8)
+	perInvocation := meanRuntime * energyPerSec * diff * carbon.PUE
+	return float64(invocations) * perInvocation, nil
+}
+
+// solveCost estimates the carbon cost of one plan generation: solver
+// compute time (scaling with DAG size and region count — application
+// complexity, §5.2) priced at the framework region's intensity. hourly
+// solves cost 24× a single daily solve.
+func (m *Manager) solveCost(now time.Time, hourly bool) float64 {
+	d := m.mm.DAG()
+	estimates := float64(d.Len()) * float64(m.mm.Catalogue().Len()) * 6
+	seconds := estimates * m.cfg.SolveSecondsPerEstimate
+	if hourly {
+		seconds *= 24
+	}
+	intensity, err := m.mm.IntensityAt(m.cfg.FrameworkRegion, now, now)
+	if err != nil {
+		intensity = 400 // conservative default
+	}
+	return carbon.ExecutionCarbon(intensity, m.cfg.SolverMemoryMB, seconds, m.cfg.SolverUtil)
+}
+
+func (m *Manager) solveAndRollout(now time.Time, hourly bool, validity time.Duration) error {
+	if err := m.mm.RefreshForecasts(now); err != nil {
+		return err
+	}
+	var plans dag.HourlyPlans
+	var results []solver.Result
+	if hourly {
+		var err error
+		plans, results, err = m.solv.SolveHourly(now, now)
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := m.solv.SolveOne(now, now)
+		if err != nil {
+			return err
+		}
+		plans = dag.Uniform(res.Plan)
+		results = []solver.Result{res}
+	}
+	m.solves++
+	m.OverheadGrams += m.solveCost(now, hourly)
+	m.updateStability(plans)
+
+	movedBytes, err := m.dep.Rollout(plans, now.Add(validity))
+	m.chargeMigration(movedBytes, now)
+	if err != nil {
+		return err
+	}
+	if m.OnSolve != nil {
+		m.OnSolve(now, plans, results)
+	}
+	return nil
+}
+
+// chargeMigration accounts image-replication transmission carbon against
+// the framework overhead (worst-case inter-region energy factor, a
+// conservative charge).
+func (m *Manager) chargeMigration(bytes float64, now time.Time) {
+	if bytes <= 0 {
+		return
+	}
+	intensity, err := m.mm.IntensityAt(m.home, now, now)
+	if err != nil {
+		intensity = 400
+	}
+	m.OverheadGrams += carbon.WorstCase().Carbon(intensity, intensity, false, bytes)
+}
+
+// updateStability compares the fresh plan set with the previous one and
+// doubles the check backoff when at least three quarters of the hourly
+// assignments are unchanged; otherwise the cadence resets.
+func (m *Manager) updateStability(plans dag.HourlyPlans) {
+	if m.lastPlans != nil {
+		same, total := 0, 0
+		for h := range plans {
+			for n, r := range plans[h] {
+				total++
+				if m.lastPlans[h][n] == r {
+					same++
+				}
+			}
+		}
+		if total > 0 && float64(same)/float64(total) >= 0.75 {
+			m.stabilityFactor *= 2
+			maxFactor := m.cfg.MaxCheckInterval.Hours() / m.cfg.MinCheckInterval.Hours()
+			if m.stabilityFactor > maxFactor {
+				m.stabilityFactor = maxFactor
+			}
+		} else {
+			m.stabilityFactor = 1
+		}
+	}
+	cp := plans
+	m.lastPlans = &cp
+}
+
+// checkInterval schedules the next token check: the shortfall between the
+// solve cost and the earning rate, smoothed by a sigmoid into
+// [MinCheckInterval, MaxCheckInterval] so the cadence tracks the past
+// period's invocation rate (§5.2), stretched by the plan-stability
+// backoff.
+func (m *Manager) checkInterval(cost, periodHours float64) time.Duration {
+	rate := m.lastEarned / periodHours // tokens per hour
+	var hoursNeeded float64
+	switch {
+	case m.tokens >= cost:
+		hoursNeeded = 0
+	case rate <= 0:
+		hoursNeeded = m.cfg.MaxCheckInterval.Hours()
+	default:
+		hoursNeeded = (cost - m.tokens) / rate
+	}
+	minH := m.cfg.MinCheckInterval.Hours()
+	maxH := m.cfg.MaxCheckInterval.Hours()
+	mid := (minH + maxH) / 2
+	s := 1 / (1 + math.Exp(-(hoursNeeded-mid)/(maxH/8)))
+	h := minH + (maxH-minH)*s
+	if stable := minH * m.stabilityFactor; stable > h {
+		h = stable
+	}
+	if h > maxH {
+		h = maxH
+	}
+	return time.Duration(h * float64(time.Hour))
+}

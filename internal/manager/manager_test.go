@@ -1,0 +1,307 @@
+package manager
+
+import (
+	"testing"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/dag"
+	"caribou/internal/deployer"
+	"caribou/internal/executor"
+	"caribou/internal/metrics"
+	"caribou/internal/montecarlo"
+	"caribou/internal/netmodel"
+	"caribou/internal/platform"
+	"caribou/internal/pricing"
+	"caribou/internal/region"
+	"caribou/internal/simclock"
+	"caribou/internal/solver"
+	"caribou/internal/workloads"
+)
+
+var t0 = time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
+
+type stack struct {
+	sched *simclock.Scheduler
+	eng   *executor.Engine
+	mm    *metrics.Manager
+	dep   *deployer.Deployer
+	mgr   *Manager
+}
+
+func newStack(t *testing.T, cfg Config) *stack {
+	t.Helper()
+	sched := simclock.New(t0)
+	cat, err := region.NorthAmerica().Subset(region.EvaluationFour())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := carbon.NewSyntheticSource(1, t0.Add(-8*24*time.Hour), t0.Add(10*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netmodel.New(cat)
+	p, err := platform.New(platform.Options{Sched: sched, Catalogue: cat, Net: net, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workloads.Text2SpeechCensoring()
+	mm := metrics.New(wl.DAG, region.USEast1, cat, net, src, pricing.DefaultBook())
+	eng, err := executor.New(executor.Options{
+		Platform: p, Workload: wl, Home: region.USEast1, Seed: 1,
+		OnComplete: func(r *platform.InvocationRecord) { mm.Ingest(r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep := deployer.New(eng, p)
+	if err := dep.InitialDeploy(); err != nil {
+		t.Fatal(err)
+	}
+	est := montecarlo.New(mm, carbon.BestCase(), 1)
+	solv, err := solver.New(solver.Config{
+		Inputs: mm, Estimator: est,
+		Objective: solver.Objective{
+			Priority:   solver.PriorityCarbon,
+			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := New(cfg, mm, solv, dep, region.USEast1, t0)
+	eng.SetPlans(dep)
+	return &stack{sched: sched, eng: eng, mm: mm, dep: dep, mgr: mgr}
+}
+
+func (s *stack) runTraffic(t *testing.T, n int, gap time.Duration) {
+	t.Helper()
+	start := s.sched.Now()
+	for i := 0; i < n; i++ {
+		s.eng.InvokeAt(start.Add(time.Duration(i)*gap), workloads.Small, func(err error) { t.Error(err) })
+	}
+	s.sched.Run()
+}
+
+func TestTickBeforeDueIsNoop(t *testing.T) {
+	s := newStack(t, Config{})
+	activated, err := s.mgr.Tick(t0.Add(time.Minute))
+	if err != nil || activated {
+		t.Errorf("activated=%v err=%v", activated, err)
+	}
+	if s.mgr.Solves() != 0 {
+		t.Error("solved before check was due")
+	}
+}
+
+func TestNoTrafficNoTokensNoSolve(t *testing.T) {
+	s := newStack(t, Config{})
+	s.sched.RunUntil(t0.Add(7 * time.Hour))
+	activated, err := s.mgr.Tick(s.sched.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if activated || s.mgr.Solves() != 0 {
+		t.Error("solve without traffic or initial tokens")
+	}
+	if s.mgr.Tokens() != 0 {
+		t.Errorf("tokens = %v", s.mgr.Tokens())
+	}
+}
+
+func TestTrafficEarnsTokensAndTriggersSolve(t *testing.T) {
+	s := newStack(t, Config{})
+	s.runTraffic(t, 300, 80*time.Second) // ~6.7 hours of traffic
+	activated, err := s.mgr.Tick(s.sched.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !activated {
+		t.Fatal("expected a solve and activation")
+	}
+	if s.mgr.Solves() != 1 {
+		t.Errorf("solves = %d", s.mgr.Solves())
+	}
+	if s.mgr.OverheadGrams <= 0 {
+		t.Error("overhead not accounted")
+	}
+	if s.dep.ActivePlan(s.sched.Now()) == nil {
+		t.Error("no active plan after solve")
+	}
+}
+
+func TestCheckExpiresPreviousPlan(t *testing.T) {
+	s := newStack(t, Config{})
+	s.runTraffic(t, 300, 80*time.Second)
+	if _, err := s.mgr.Tick(s.sched.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if s.dep.ActivePlan(s.sched.Now()) == nil {
+		t.Fatal("plan should be active")
+	}
+	// Next due check: the old plan is expired first; when the fresh
+	// rollout fails, traffic must route home (no active plan) rather
+	// than through the stale deployment.
+	s.dep.FailDeploy = func(_ dag.NodeID, r region.ID) bool { return r != region.USEast1 }
+	next := s.mgr.NextCheck()
+	s.sched.RunUntil(next.Add(time.Minute))
+	activated, err := s.mgr.Tick(s.sched.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if activated {
+		t.Error("activation despite failed rollout")
+	}
+	if s.dep.ActivePlan(s.sched.Now()) != nil {
+		t.Error("stale plan not expired at token check")
+	}
+}
+
+func TestCheckIntervalWithinBounds(t *testing.T) {
+	cfg := Config{MinCheckInterval: 6 * time.Hour, MaxCheckInterval: 48 * time.Hour}
+	s := newStack(t, cfg)
+	s.runTraffic(t, 300, 80*time.Second)
+	now := s.sched.Now()
+	if _, err := s.mgr.Tick(now); err != nil {
+		t.Fatal(err)
+	}
+	gap := s.mgr.NextCheck().Sub(now)
+	if gap < cfg.MinCheckInterval || gap > cfg.MaxCheckInterval {
+		t.Errorf("next check gap = %v outside [%v, %v]", gap, cfg.MinCheckInterval, cfg.MaxCheckInterval)
+	}
+}
+
+func TestSolveCostScalesHourly(t *testing.T) {
+	s := newStack(t, Config{})
+	hourly := s.mgr.solveCost(t0, true)
+	daily := s.mgr.solveCost(t0, false)
+	if hourly <= daily {
+		t.Errorf("hourly %v should exceed daily %v", hourly, daily)
+	}
+	if hourly/daily < 20 || hourly/daily > 28 {
+		t.Errorf("hourly/daily = %v, want ~24", hourly/daily)
+	}
+}
+
+func TestInitialTokensEnableEarlySolve(t *testing.T) {
+	s := newStack(t, Config{InitialTokens: 1e6})
+	// A little traffic so the Metric Manager has data to model from.
+	s.runTraffic(t, 100, time.Minute)
+	s.sched.RunUntil(t0.Add(7 * time.Hour))
+	activated, err := s.mgr.Tick(s.sched.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !activated {
+		t.Error("initial token grant did not enable the first solve")
+	}
+}
+
+func TestStabilityBackoffGrows(t *testing.T) {
+	s := newStack(t, Config{InitialTokens: 1e9, MinCheckInterval: 6 * time.Hour, MaxCheckInterval: 48 * time.Hour})
+	s.runTraffic(t, 200, time.Minute)
+
+	var gaps []time.Duration
+	for i := 0; i < 3; i++ {
+		next := s.mgr.NextCheck()
+		if next.After(s.sched.Now()) {
+			s.sched.RunUntil(next.Add(time.Minute))
+		}
+		before := s.sched.Now()
+		if _, err := s.mgr.Tick(before); err != nil {
+			t.Fatal(err)
+		}
+		gaps = append(gaps, s.mgr.NextCheck().Sub(before))
+	}
+	if s.mgr.Solves() < 2 {
+		t.Fatalf("solves = %d; backoff test needs repeated solves", s.mgr.Solves())
+	}
+	if gaps[len(gaps)-1] <= gaps[0] {
+		t.Errorf("check gaps did not grow with stable plans: %v", gaps)
+	}
+}
+
+func TestOnSolveObserver(t *testing.T) {
+	s := newStack(t, Config{})
+	var seen []dag.HourlyPlans
+	s.mgr.OnSolve = func(_ time.Time, plans dag.HourlyPlans, results []solver.Result) {
+		seen = append(seen, plans)
+		if len(results) == 0 {
+			t.Error("no results passed to observer")
+		}
+	}
+	s.runTraffic(t, 300, 80*time.Second)
+	if _, err := s.mgr.Tick(s.sched.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Errorf("observer saw %d solves", len(seen))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(region.USEast1)
+	if c.FrameworkRegion != region.USEast1 {
+		t.Errorf("framework region = %v", c.FrameworkRegion)
+	}
+	if c.MinCheckInterval <= 0 || c.MaxCheckInterval <= c.MinCheckInterval {
+		t.Errorf("intervals: %v %v", c.MinCheckInterval, c.MaxCheckInterval)
+	}
+	if c.PlanValidity <= 0 || c.SolverMemoryMB <= 0 || c.SolverUtil <= 0 || c.SolveSecondsPerEstimate <= 0 {
+		t.Error("defaults missing")
+	}
+}
+
+func TestDailyGranularityWhenBudgetIsTight(t *testing.T) {
+	s := newStack(t, Config{})
+	s.runTraffic(t, 60, time.Minute) // some data, few tokens
+	now := s.sched.Now().Add(7 * time.Hour)
+	s.sched.RunUntil(now)
+
+	hourly := s.mgr.solveCost(now, true)
+	daily := s.mgr.solveCost(now, false)
+	// Grant a budget that covers a daily solve but not an hourly one,
+	// and exclude the warmup traffic from accrual so the budget stays
+	// exactly there.
+	s.mgr.tokens = (daily + hourly) / 2
+	s.mgr.lastCheck = s.sched.Now()
+
+	var resultCounts []int
+	s.mgr.OnSolve = func(_ time.Time, _ dag.HourlyPlans, results []solver.Result) {
+		resultCounts = append(resultCounts, len(results))
+	}
+	activated, err := s.mgr.Tick(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !activated {
+		t.Fatal("expected a daily-granularity solve")
+	}
+	if len(resultCounts) != 1 || resultCounts[0] != 1 {
+		t.Errorf("result counts = %v, want a single daily solve", resultCounts)
+	}
+	// The plan set reuses one plan for all hours.
+	plan := s.dep.ActivePlan(now)
+	if plan == nil {
+		t.Fatal("no active plan")
+	}
+}
+
+func TestHourlyGranularityWhenBudgetIsAmple(t *testing.T) {
+	s := newStack(t, Config{InitialTokens: 1e9})
+	s.runTraffic(t, 60, time.Minute)
+	now := s.sched.Now().Add(7 * time.Hour)
+	s.sched.RunUntil(now)
+
+	var resultCounts []int
+	s.mgr.OnSolve = func(_ time.Time, _ dag.HourlyPlans, results []solver.Result) {
+		resultCounts = append(resultCounts, len(results))
+	}
+	if _, err := s.mgr.Tick(now); err != nil {
+		t.Fatal(err)
+	}
+	if len(resultCounts) != 1 || resultCounts[0] != 24 {
+		t.Errorf("result counts = %v, want one 24-hour solve", resultCounts)
+	}
+}

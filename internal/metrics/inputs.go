@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/forecast"
+	"caribou/internal/platform"
+	"caribou/internal/pricing"
+	"caribou/internal/region"
+	"caribou/internal/stats"
+)
+
+// This file exposes the Metric Manager as the model-input provider for the
+// Monte Carlo estimator and the Deployment Solver (§7.1): execution-time
+// distributions with home-region fallback, edge payload distributions,
+// conditional-edge probabilities, transmission latencies with a
+// CloudPing-style fallback, and actual-or-forecast carbon intensities.
+
+// ExecDuration returns the empirical execution-time distribution of node
+// in r. When no observations for r exist, it falls back to the home
+// region's distribution, exactly as the paper's Metric Manager does for
+// new regions. An error is returned when not even home data exists.
+func (m *Manager) ExecDuration(node dag.NodeID, r region.ID) (*stats.Distribution, error) {
+	if d, ok := m.exec[execKey{node, r}]; ok && d.Len() > 0 {
+		return d, nil
+	}
+	if d, ok := m.exec[execKey{node, m.home}]; ok && d.Len() > 0 {
+		return d, nil
+	}
+	return nil, fmt.Errorf("metrics: no execution data for node %q (home %s)", node, m.home)
+}
+
+// CPUUtil returns the observed mean vCPU utilization of node (0.7 when
+// unobserved, a neutral default).
+func (m *Manager) CPUUtil(node dag.NodeID) float64 {
+	if u, ok := m.util[node]; ok && u.n > 0 {
+		return u.mean
+	}
+	return 0.7
+}
+
+// MemoryMB returns the configured memory observed for node, falling back
+// to the DAG declaration.
+func (m *Manager) MemoryMB(node dag.NodeID) float64 {
+	if mem, ok := m.memory[node]; ok {
+		return mem
+	}
+	if n, ok := m.d.Node(node); ok {
+		return n.MemoryMB
+	}
+	return 1769
+}
+
+// EdgeBytes returns the observed payload-size distribution of the edge, or
+// nil when never observed (zero-byte edges).
+func (m *Manager) EdgeBytes(from, to dag.NodeID) *stats.Distribution {
+	if d, ok := m.edgeBytes[edgeKey{from, to}]; ok && d.Len() > 0 {
+		return d
+	}
+	return nil
+}
+
+// EntryBytes returns the observed entry payload distribution.
+func (m *Manager) EntryBytes() *stats.Distribution { return m.entry }
+
+// OutputBytes returns the observed terminal write-back distribution for
+// node, or nil.
+func (m *Manager) OutputBytes(node dag.NodeID) *stats.Distribution {
+	if d, ok := m.output[node]; ok && d.Len() > 0 {
+		return d
+	}
+	return nil
+}
+
+// EdgeProbability returns the observed trigger frequency of the edge; the
+// static declaration is the prior when unobserved.
+func (m *Manager) EdgeProbability(e dag.Edge) float64 {
+	if !e.Conditional {
+		return 1
+	}
+	if f, ok := m.edgeSeen[edgeKey{e.From, e.To}]; ok && f.seen >= 20 {
+		return float64(f.taken) / float64(f.seen)
+	}
+	return e.Probability
+}
+
+// TransferSeconds returns the modeled one-way transfer time for a payload
+// between two regions (the CloudPing-style fallback; observed timings
+// would refine this in a live deployment).
+func (m *Manager) TransferSeconds(from, to region.ID, bytes float64) float64 {
+	d, err := m.net.TransferTime(from, to, bytes)
+	if err != nil {
+		return 0.1
+	}
+	return d.Seconds()
+}
+
+// MessageOverheadSeconds is the provider-side pub/sub delivery overhead
+// applied per inter-stage message.
+func (m *Manager) MessageOverheadSeconds() float64 {
+	return platform.SNSPublishOverhead.Seconds()
+}
+
+// KVAccessSeconds returns the modeled latency of one KV request from a
+// region against the workflow's home table.
+func (m *Manager) KVAccessSeconds(from region.ID) float64 {
+	return m.net.MustRTTSeconds(from, m.home) + platform.KVAccessOverhead.Seconds()
+}
+
+// CostBook exposes the price book.
+func (m *Manager) CostBook() *pricing.Book { return m.book }
+
+// Home returns the workflow's home region.
+func (m *Manager) Home() region.ID { return m.home }
+
+// DAG returns the workflow graph.
+func (m *Manager) DAG() *dag.DAG { return m.d }
+
+// Catalogue returns the region catalogue.
+func (m *Manager) Catalogue() *region.Catalogue { return m.cat }
+
+// RefreshForecasts refits the Holt-Winters carbon forecasters using the
+// hourly intensities of the week preceding now (§7.2: once a day, previous
+// week as input).
+func (m *Manager) RefreshForecasts(now time.Time) error {
+	end := now.UTC().Truncate(time.Hour)
+	start := end.Add(-7 * 24 * time.Hour)
+	type hourly interface {
+		Hourly(zone string, from, to time.Time) ([]float64, error)
+	}
+	h, ok := m.src.(hourly)
+	if !ok {
+		return fmt.Errorf("metrics: carbon source does not expose hourly history")
+	}
+	zones := map[string]bool{}
+	for _, id := range m.cat.IDs() {
+		r, _ := m.cat.Get(id)
+		zones[r.GridZone] = true
+	}
+	for z := range zones {
+		series, err := h.Hourly(z, start, end)
+		if err != nil {
+			return fmt.Errorf("metrics: history for %s: %w", z, err)
+		}
+		model, err := forecast.Fit(series, 24)
+		if err != nil {
+			return fmt.Errorf("metrics: fit %s: %w", z, err)
+		}
+		m.forecasters[z] = model
+	}
+	m.forecastAt = end
+	return nil
+}
+
+// IntensityAt returns the grid intensity for region r at t: measured data
+// for past instants, the Holt-Winters forecast for future ones. With no
+// fitted forecaster it falls back to the most recent measured hour.
+func (m *Manager) IntensityAt(r region.ID, t time.Time, now time.Time) (float64, error) {
+	zone, err := m.zoneOf(r)
+	if err != nil {
+		return 0, err
+	}
+	if !t.After(now) {
+		return m.src.At(zone, t)
+	}
+	if f, ok := m.forecasters[zone]; ok && !m.forecastAt.IsZero() {
+		h := int(t.Sub(m.forecastAt)/time.Hour) + 1
+		if h < 1 {
+			h = 1
+		}
+		v := f.Forecast(h)
+		if v < 0 {
+			v = 0
+		}
+		return v, nil
+	}
+	// Fallback: persistence from the current hour.
+	return m.src.At(zone, now)
+}
+
+// ForecastMAPE evaluates forecast quality: it refits on the week before
+// trainEnd and scores horizon hours of forecasts against actuals,
+// returning the mean absolute percentage error (Fig 13b's metric).
+func (m *Manager) ForecastMAPE(r region.ID, trainEnd time.Time, horizon int) (float64, error) {
+	zone, err := m.zoneOf(r)
+	if err != nil {
+		return 0, err
+	}
+	type hourly interface {
+		Hourly(zone string, from, to time.Time) ([]float64, error)
+	}
+	h, ok := m.src.(hourly)
+	if !ok {
+		return 0, fmt.Errorf("metrics: carbon source does not expose hourly history")
+	}
+	end := trainEnd.UTC().Truncate(time.Hour)
+	train, err := h.Hourly(zone, end.Add(-7*24*time.Hour), end)
+	if err != nil {
+		return 0, err
+	}
+	model, err := forecast.Fit(train, 24)
+	if err != nil {
+		return 0, err
+	}
+	actual, err := h.Hourly(zone, end, end.Add(time.Duration(horizon)*time.Hour))
+	if err != nil {
+		return 0, err
+	}
+	pred := model.ForecastRange(len(actual))
+	return stats.MAPE(actual, pred)
+}

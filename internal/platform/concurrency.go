@@ -1,0 +1,72 @@
+package platform
+
+import (
+	"caribou/internal/region"
+)
+
+// Per-region execution concurrency, modeling the account-level concurrent
+// execution limit of serverless platforms (AWS Lambda's default is 1,000
+// per region). When a region is saturated, new invocations queue until a
+// slot frees — the "region unavailability due to increased traffic"
+// failure mode §6.1's fallback machinery guards against.
+
+// DefaultRegionConcurrency matches the provider's default account limit.
+const DefaultRegionConcurrency = 1000
+
+type regionLimiter struct {
+	capacity int
+	inUse    int
+	waiting  []func()
+	peak     int
+	queued   uint64
+}
+
+func (p *Platform) limiter(r region.ID) *regionLimiter {
+	l, ok := p.limiters[r]
+	if !ok {
+		l = &regionLimiter{capacity: p.regionConcurrency}
+		p.limiters[r] = l
+	}
+	return l
+}
+
+// AcquireExecutionSlot runs fn as soon as the region has execution
+// capacity: immediately when below the limit, otherwise when a running
+// execution releases its slot. fn must arrange for ReleaseExecutionSlot
+// to be called exactly once when the execution finishes.
+func (p *Platform) AcquireExecutionSlot(r region.ID, fn func()) {
+	l := p.limiter(r)
+	if l.capacity <= 0 || l.inUse < l.capacity {
+		l.inUse++
+		if l.inUse > l.peak {
+			l.peak = l.inUse
+		}
+		fn()
+		return
+	}
+	l.queued++
+	l.waiting = append(l.waiting, fn)
+}
+
+// ReleaseExecutionSlot returns a slot to the region and starts the oldest
+// queued execution, if any.
+func (p *Platform) ReleaseExecutionSlot(r region.ID) {
+	l := p.limiter(r)
+	if len(l.waiting) > 0 {
+		next := l.waiting[0]
+		l.waiting = l.waiting[1:]
+		// The slot transfers directly to the queued execution.
+		next()
+		return
+	}
+	if l.inUse > 0 {
+		l.inUse--
+	}
+}
+
+// ConcurrencyStats reports a region's peak concurrent executions and how
+// many invocations had to queue.
+func (p *Platform) ConcurrencyStats(r region.ID) (peak int, queued uint64) {
+	l := p.limiter(r)
+	return l.peak, l.queued
+}

@@ -1,0 +1,224 @@
+package pubsub
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"caribou/internal/simclock"
+)
+
+var t0 = time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
+
+func newBroker(cfg Config) (*simclock.Scheduler, *Broker) {
+	sched := simclock.New(t0)
+	latency := func(string, int) time.Duration { return 10 * time.Millisecond }
+	return sched, NewBroker(sched, latency, cfg, simclock.NewRand(1))
+}
+
+func TestDeliverToSubscriber(t *testing.T) {
+	sched, b := newBroker(Config{})
+	var got []string
+	b.Subscribe("t", func(m Message) error {
+		got = append(got, string(m.Data))
+		if m.Attempt != 1 {
+			t.Errorf("attempt = %d", m.Attempt)
+		}
+		return nil
+	})
+	if err := b.Publish("t", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got %v", got)
+	}
+	pub, del, drop, inflight := b.Stats()
+	if pub != 1 || del != 1 || drop != 0 || inflight != 0 {
+		t.Errorf("stats pub=%d del=%d drop=%d inflight=%d", pub, del, drop, inflight)
+	}
+}
+
+func TestDeliveryRespectsLatency(t *testing.T) {
+	sched, b := newBroker(Config{})
+	var at time.Time
+	b.Subscribe("t", func(Message) error {
+		at = sched.Now()
+		return nil
+	})
+	if err := b.PublishAfter("t", nil, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if want := t0.Add(250 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestRedeliveryOnNack(t *testing.T) {
+	sched, b := newBroker(Config{RetryDelay: time.Second})
+	attempts := 0
+	b.Subscribe("t", func(m Message) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("nack")
+		}
+		return nil
+	})
+	if err := b.Publish("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	_, del, drop, _ := b.Stats()
+	if del != 1 || drop != 0 {
+		t.Errorf("del=%d drop=%d", del, drop)
+	}
+}
+
+func TestDropAfterMaxAttempts(t *testing.T) {
+	sched, b := newBroker(Config{MaxAttempts: 3, RetryDelay: time.Second})
+	attempts := 0
+	b.Subscribe("t", func(Message) error {
+		attempts++
+		return errors.New("always fails")
+	})
+	var dropped []Message
+	b.OnDrop(func(m Message) { dropped = append(dropped, m) })
+	if err := b.Publish("t", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if len(dropped) != 1 || dropped[0].Topic != "t" {
+		t.Errorf("dropped = %v", dropped)
+	}
+	_, del, drop, _ := b.Stats()
+	if del != 0 || drop != 1 {
+		t.Errorf("del=%d drop=%d", del, drop)
+	}
+}
+
+func TestMultipleOnDropCallbacks(t *testing.T) {
+	sched, b := newBroker(Config{MaxAttempts: 1})
+	calls := 0
+	b.OnDrop(func(Message) { calls++ })
+	b.OnDrop(func(Message) { calls++ })
+	if err := b.Publish("nobody", nil); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if calls != 2 {
+		t.Errorf("drop callbacks = %d, want 2", calls)
+	}
+}
+
+func TestSubscriberAppearingBeforeDelivery(t *testing.T) {
+	// Deployment racing traffic: a publish before Subscribe still
+	// delivers if the subscriber exists at (re)delivery time.
+	sched, b := newBroker(Config{RetryDelay: time.Second})
+	if err := b.Publish("late", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	sched.After(500*time.Millisecond, func() {
+		b.Subscribe("late", func(Message) error {
+			delivered = true
+			return nil
+		})
+	})
+	sched.Run()
+	if !delivered {
+		t.Error("message not delivered to late subscriber")
+	}
+}
+
+func TestResubscribeReplacesHandler(t *testing.T) {
+	sched, b := newBroker(Config{})
+	first, second := 0, 0
+	b.Subscribe("t", func(Message) error { first++; return nil })
+	b.Subscribe("t", func(Message) error { second++; return nil })
+	if err := b.Publish("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if first != 0 || second != 1 {
+		t.Errorf("first=%d second=%d", first, second)
+	}
+	b.Unsubscribe("t")
+	if b.HasSubscriber("t") {
+		t.Error("unsubscribe failed")
+	}
+	b.Subscribe("t", nil)
+	if b.HasSubscriber("t") {
+		t.Error("nil handler should unsubscribe")
+	}
+}
+
+func TestDuplicateInjection(t *testing.T) {
+	sched := simclock.New(t0)
+	b := NewBroker(sched, nil, Config{DuplicateProb: 1.0}, simclock.NewRand(1))
+	got := 0
+	b.Subscribe("t", func(Message) error { got++; return nil })
+	if err := b.Publish("t", nil); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if got != 2 {
+		t.Errorf("deliveries = %d, want 2 (duplicate injected)", got)
+	}
+}
+
+func TestEmptyTopicRejected(t *testing.T) {
+	_, b := newBroker(Config{})
+	if err := b.Publish("", nil); err == nil {
+		t.Error("want error for empty topic")
+	}
+	if err := b.PublishAfter("", nil, 0); err == nil {
+		t.Error("want error for empty topic")
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	sched, b := newBroker(Config{})
+	data := []byte("orig")
+	var seen string
+	b.Subscribe("t", func(m Message) error {
+		seen = string(m.Data)
+		return nil
+	})
+	if err := b.Publish("t", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // mutate after publish
+	sched.Run()
+	if seen != "orig" {
+		t.Errorf("payload aliased: %q", seen)
+	}
+}
+
+func TestBackoffDoubling(t *testing.T) {
+	sched, b := newBroker(Config{MaxAttempts: 4, RetryDelay: time.Second})
+	var times []time.Time
+	b.Subscribe("t", func(Message) error {
+		times = append(times, sched.Now())
+		return errors.New("nack")
+	})
+	if err := b.PublishAfter("t", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(times) != 4 {
+		t.Fatalf("attempts = %d", len(times))
+	}
+	// Gaps: 1s, 2s, 4s.
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second} {
+		if gap := times[i+1].Sub(times[i]); gap != want {
+			t.Errorf("gap %d = %v, want %v", i, gap, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package region
+
+import "fmt"
+
+// Constraint captures the compliance rules of §8: a workflow- or
+// function-level allow/deny list over regions, providers, and countries.
+// Function-level constraints supersede workflow-level ones; an empty allow
+// set means "all regions eligible".
+type Constraint struct {
+	AllowedRegions    []ID
+	DisallowedRegions []ID
+	AllowedProviders  []string
+	AllowedCountries  []string
+}
+
+// Permits reports whether the constraint allows deployment to r.
+func (c Constraint) Permits(r *Region) bool {
+	for _, d := range c.DisallowedRegions {
+		if d == r.ID {
+			return false
+		}
+	}
+	if len(c.AllowedRegions) > 0 {
+		found := false
+		for _, a := range c.AllowedRegions {
+			if a == r.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(c.AllowedProviders) > 0 {
+		found := false
+		for _, p := range c.AllowedProviders {
+			if p == r.Provider {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(c.AllowedCountries) > 0 {
+		found := false
+		for _, cc := range c.AllowedCountries {
+			if cc == r.Country {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the constraint imposes no restriction.
+func (c Constraint) Empty() bool {
+	return len(c.AllowedRegions) == 0 && len(c.DisallowedRegions) == 0 &&
+		len(c.AllowedProviders) == 0 && len(c.AllowedCountries) == 0
+}
+
+// Merge layers a function-level constraint over a workflow-level one.
+// Per §8, the function-level configuration supersedes the workflow-level
+// one wherever it says anything at all; deny lists accumulate.
+func Merge(workflow, function Constraint) Constraint {
+	out := workflow
+	if len(function.AllowedRegions) > 0 {
+		out.AllowedRegions = function.AllowedRegions
+	}
+	if len(function.AllowedProviders) > 0 {
+		out.AllowedProviders = function.AllowedProviders
+	}
+	if len(function.AllowedCountries) > 0 {
+		out.AllowedCountries = function.AllowedCountries
+	}
+	out.DisallowedRegions = append(append([]ID(nil), workflow.DisallowedRegions...), function.DisallowedRegions...)
+	return out
+}
+
+// Eligible returns the region IDs from the catalogue permitted by the
+// constraint, in stable order. It errors when nothing is eligible, since a
+// workflow with no deployable region is a configuration bug.
+func (c Constraint) Eligible(cat *Catalogue) ([]ID, error) {
+	var out []ID
+	for _, id := range cat.IDs() {
+		r, _ := cat.Get(id)
+		if c.Permits(r) {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("region: constraint permits no region in catalogue of %d", cat.Len())
+	}
+	return out, nil
+}

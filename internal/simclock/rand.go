@@ -1,0 +1,95 @@
+package simclock
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random stream used throughout the simulator.
+// Distinct components derive independent streams from a root seed and a
+// label, so adding a new consumer never perturbs existing streams.
+type Rand struct {
+	src *rand.Rand
+}
+
+// NewRand returns a stream seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// DeriveRand returns an independent stream derived from a root seed and a
+// label. The derivation is a stable hash, so the same (seed, label) pair
+// always yields the same stream.
+func DeriveRand(seed int64, label string) *Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(label))
+	return NewRand(int64(h.Sum64()))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Normal returns a normally distributed value.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// LogNormal returns a log-normally distributed value with the given
+// parameters of the underlying normal (mu, sigma).
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean.
+func (r *Rand) Exponential(mean float64) float64 {
+	return r.src.ExpFloat64() * mean
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and a normal approximation above 64.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := r.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }

@@ -1,0 +1,120 @@
+// Package simclock provides a deterministic discrete-event scheduler with a
+// virtual clock. All Caribou substrates run on virtual time so that
+// week-long experiments execute in milliseconds and are exactly
+// reproducible from a seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a single-threaded discrete-event scheduler. Events fire in
+// timestamp order; ties break in scheduling order, which keeps runs
+// deterministic. Scheduler is not safe for concurrent use: the simulation
+// model is cooperative, with every event handler running to completion on
+// the caller's goroutine.
+type Scheduler struct {
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// New returns a scheduler whose clock starts at start.
+func New(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now reports the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Pending reports the number of events not yet fired.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired reports the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at the given virtual time. Scheduling in the past
+// is a programming error and panics, since it would silently reorder the
+// causal event stream.
+func (s *Scheduler) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		panic(fmt.Sprintf("simclock: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are clamped to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was fired.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 || s.halted {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+	s.halted = false
+}
+
+// RunUntil fires events with timestamps not after deadline, then advances
+// the clock to deadline. Events scheduled beyond the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline time.Time) {
+	for len(s.queue) > 0 && !s.halted && !s.queue[0].at.After(deadline) {
+		s.Step()
+	}
+	s.halted = false
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+}
+
+// Halt stops the currently running Run/RunUntil loop after the in-flight
+// event handler returns. It is intended to be called from inside an event.
+func (s *Scheduler) Halt() { s.halted = true }

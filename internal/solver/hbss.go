@@ -1,0 +1,137 @@
+package solver
+
+import (
+	"math"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/region"
+)
+
+// Heuristic-Biased Stochastic Sampling (Alg. 1). Hyper-parameters follow
+// the paper's empirically determined values: α = |N|·|R|·6 iterations,
+// bias β = 0.2, initial temperature γ = 1.0 cooled by 0.99 per accepted
+// move.
+const (
+	alphaFactor = 6
+	biasBeta    = 0.2
+	gammaInit   = 1.0
+	gammaCool   = 0.99
+)
+
+// solveHBSS runs Alg. 1 from the home deployment.
+func (s *Solver) solveHBSS(at, now time.Time, home Result) (Result, error) {
+	regionsPerNode := 0
+	for _, n := range s.order {
+		if len(s.eligible[n]) > regionsPerNode {
+			regionsPerNode = len(s.eligible[n])
+		}
+	}
+	alpha := len(s.order) * regionsPerNode * alphaFactor
+	if s.maxIter > 0 && alpha > s.maxIter {
+		alpha = s.maxIter
+	}
+
+	// Rank eligible regions once per solve by the carbon heuristic.
+	ranked := make(map[dag.NodeID][]region.ID, len(s.order))
+	for _, n := range s.order {
+		r, err := s.rankedEligible(n, at, now)
+		if err != nil {
+			return Result{}, err
+		}
+		ranked[n] = r
+	}
+
+	gamma := gammaInit
+	current := home
+	best := home
+	seen := map[string]bool{home.Plan.String(): true}
+	explored := 1
+
+	for i := 0; i < alpha; i++ {
+		nd := s.genNewDeploymentWithBias(current.Plan, ranked)
+		key := nd.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		explored++
+		est, err := s.est.Estimate(nd, at, now)
+		if err != nil {
+			return Result{}, err
+		}
+		if s.violates(est, home.Estimate) {
+			continue
+		}
+		cand := Result{nd, est}
+		accept := cand.Metric(s.obj.Priority) < current.Metric(s.obj.Priority) ||
+			s.mutate(gamma, current, cand)
+		if accept {
+			current = cand
+			gamma *= gammaCool
+			if cand.Metric(s.obj.Priority) < best.Metric(s.obj.Priority) {
+				best = cand
+			}
+		}
+		if float64(explored) >= s.searchSpace() {
+			break // complete exploration
+		}
+	}
+	return best, nil
+}
+
+// genNewDeploymentWithBias perturbs the current deployment: it reassigns a
+// small random subset of stages, drawing each new region from the
+// heuristic ranking with geometric bias β (rank k chosen with weight
+// β^k), so low-carbon regions are proposed most often but the whole space
+// stays reachable.
+func (s *Solver) genNewDeploymentWithBias(cur dag.Plan, ranked map[dag.NodeID][]region.ID) dag.Plan {
+	nd := cur.Clone()
+	// Number of stages to mutate: 1 + Geometric(1/2), capped at |N|.
+	k := 1
+	for k < len(s.order) && s.rng.Bool(0.5) {
+		k++
+	}
+	perm := s.rng.Perm(len(s.order))
+	for _, idx := range perm[:k] {
+		n := s.order[idx]
+		nd[n] = s.pickBiased(ranked[n])
+	}
+	return nd
+}
+
+// pickBiased selects from a ranked list with geometric weights β^rank.
+func (s *Solver) pickBiased(ranked []region.ID) region.ID {
+	if len(ranked) == 1 {
+		return ranked[0]
+	}
+	total := 0.0
+	w := 1.0
+	for range ranked {
+		total += w
+		w *= biasBeta
+	}
+	u := s.rng.Float64() * total
+	w = 1.0
+	for _, r := range ranked {
+		if u < w {
+			return r
+		}
+		u -= w
+		w *= biasBeta
+	}
+	return ranked[len(ranked)-1]
+}
+
+// mutate is the stochastic acceptance of Alg. 1 (MUT): accept a
+// non-improving deployment with probability exp(-Δ/γ), where Δ is the
+// relative metric regression. Cooling γ makes the search increasingly
+// greedy.
+func (s *Solver) mutate(gamma float64, cd, nd Result) bool {
+	denom := cd.Metric(s.obj.Priority)
+	if denom <= 0 {
+		denom = 1e-12
+	}
+	delta := math.Abs(cd.Metric(s.obj.Priority)-nd.Metric(s.obj.Priority)) / denom
+	return s.rng.Float64() < math.Exp(-delta/gamma)
+}

@@ -1,0 +1,329 @@
+// Package solver implements Caribou's Deployment Solver (§5.1): given the
+// workflow DAG, compliance constraints, and the Metric Manager's learned
+// model, it searches the |R|^|N| space of deployment plans for the one
+// optimizing the developer's priority (carbon, cost, or latency) subject
+// to QoS tolerances. The primary algorithm is Heuristic-Biased Stochastic
+// Sampling (Alg. 1); exhaustive enumeration (for small spaces and as an
+// ablation baseline) and coarse single-region selection are also provided.
+// A full solve emits 24 plans, one per hour, to track diurnal carbon
+// patterns.
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/montecarlo"
+	"caribou/internal/region"
+	"caribou/internal/simclock"
+)
+
+// Priority is the developer's optimization objective (§8).
+type Priority int
+
+// Optimization priorities.
+const (
+	PriorityCarbon Priority = iota
+	PriorityCost
+	PriorityLatency
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityCarbon:
+		return "carbon"
+	case PriorityCost:
+		return "cost"
+	case PriorityLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// Limit is an optional relative tolerance against the home-region
+// baseline, in percent. The zero value means unconstrained.
+type Limit struct {
+	Set bool
+	Pct float64
+}
+
+// Tol returns a set limit.
+func Tol(pct float64) Limit { return Limit{Set: true, Pct: pct} }
+
+// Tolerances are the workflow-level QoS bounds from the deployment
+// manifest (§8): each set limit caps the plan's tail (p95) metric at the
+// home deployment's tail metric scaled by (1 + Pct/100).
+type Tolerances struct {
+	Latency Limit
+	Cost    Limit
+	Carbon  Limit
+}
+
+// Objective couples a priority with tolerances.
+type Objective struct {
+	Priority   Priority
+	Tolerances Tolerances
+}
+
+// Config parameterizes a Solver.
+type Config struct {
+	Inputs     montecarlo.Inputs
+	Estimator  *montecarlo.Estimator
+	Objective  Objective
+	Constraint region.Constraint // workflow-level compliance constraint
+	// Regions restricts the candidate set (defaults to the full
+	// catalogue).
+	Regions []region.ID
+	Seed    int64
+	// MaxIterations caps HBSS iterations; 0 uses α = |N|·|R|·6
+	// (Alg. 1). The paper adjusts α dynamically to fit Lambda's
+	// 900-second limit; the cap plays that role here.
+	MaxIterations int
+}
+
+// Solver searches deployment plans.
+type Solver struct {
+	in   montecarlo.Inputs
+	est  *montecarlo.Estimator
+	obj  Objective
+	cons region.Constraint
+	rng  *simclock.Rand
+	// eligible[i] lists candidate regions for node order[i], already
+	// filtered by merged workflow- and function-level constraints and
+	// ranked later by the carbon heuristic.
+	order    []dag.NodeID
+	eligible map[dag.NodeID][]region.ID
+	maxIter  int
+}
+
+// Result is one evaluated plan.
+type Result struct {
+	Plan     dag.Plan
+	Estimate *montecarlo.Estimate
+}
+
+// Metric returns the result's value under the priority.
+func (r Result) Metric(p Priority) float64 {
+	switch p {
+	case PriorityCost:
+		return r.Estimate.CostMean
+	case PriorityLatency:
+		return r.Estimate.LatencyMean
+	default:
+		return r.Estimate.CarbonMean
+	}
+}
+
+// New builds a solver, validating that every stage has at least one
+// eligible region and that the home region satisfies all constraints (the
+// fallback must always be deployable).
+func New(cfg Config) (*Solver, error) {
+	if cfg.Inputs == nil || cfg.Estimator == nil {
+		return nil, fmt.Errorf("solver: Inputs and Estimator are required")
+	}
+	d := cfg.Inputs.DAG()
+	cat := cfg.Inputs.Catalogue()
+	candidates := cfg.Regions
+	if len(candidates) == 0 {
+		candidates = cat.IDs()
+	}
+	s := &Solver{
+		in:       cfg.Inputs,
+		est:      cfg.Estimator,
+		obj:      cfg.Objective,
+		cons:     cfg.Constraint,
+		rng:      simclock.DeriveRand(cfg.Seed, "solver/"+d.Name()),
+		order:    d.Nodes(),
+		eligible: make(map[dag.NodeID][]region.ID, d.Len()),
+		maxIter:  cfg.MaxIterations,
+	}
+	for _, n := range s.order {
+		node, _ := d.Node(n)
+		merged := region.Merge(cfg.Constraint, node.Constraint)
+		var elig []region.ID
+		for _, id := range candidates {
+			r, ok := cat.Get(id)
+			if !ok {
+				return nil, fmt.Errorf("solver: unknown candidate region %q", id)
+			}
+			if merged.Permits(r) {
+				elig = append(elig, id)
+			}
+		}
+		if len(elig) == 0 {
+			return nil, fmt.Errorf("solver: stage %q has no eligible region", n)
+		}
+		s.eligible[n] = elig
+	}
+	return s, nil
+}
+
+// searchSpace returns |R|^|N| over per-node eligible sets, saturating at
+// math.MaxInt64.
+func (s *Solver) searchSpace() float64 {
+	size := 1.0
+	for _, n := range s.order {
+		size *= float64(len(s.eligible[n]))
+	}
+	return size
+}
+
+// violates reports whether est breaks any set tolerance against the home
+// baseline (tail-case p95 comparison, §7.1).
+func (s *Solver) violates(est, home *montecarlo.Estimate) bool {
+	t := s.obj.Tolerances
+	if t.Latency.Set && est.LatencyP95 > home.LatencyP95*(1+t.Latency.Pct/100) {
+		return true
+	}
+	if t.Cost.Set && est.CostP95 > home.CostP95*(1+t.Cost.Pct/100) {
+		return true
+	}
+	if t.Carbon.Set && est.CarbonP95 > home.CarbonP95*(1+t.Carbon.Pct/100) {
+		return true
+	}
+	return false
+}
+
+// SolveOne finds the best plan for one instant using HBSS, or exhaustive
+// enumeration when the search space is small enough that enumeration is
+// cheaper than sampling.
+func (s *Solver) SolveOne(at, now time.Time) (Result, error) {
+	home := dag.NewHomePlan(s.in.DAG(), s.in.Home())
+	homeEst, err := s.est.Estimate(home, at, now)
+	if err != nil {
+		return Result{}, err
+	}
+	if s.searchSpace() <= 256 {
+		return s.solveExhaustive(at, now, Result{home, homeEst})
+	}
+	return s.solveHBSS(at, now, Result{home, homeEst})
+}
+
+// SolveHourly emits one plan per hour of the day starting at dayStart
+// (§5.1: 24 plans per solve given sufficient carbon budget).
+func (s *Solver) SolveHourly(dayStart, now time.Time) (dag.HourlyPlans, []Result, error) {
+	var plans dag.HourlyPlans
+	results := make([]Result, 24)
+	base := dayStart.UTC().Truncate(time.Hour)
+	for h := 0; h < 24; h++ {
+		at := base.Add(time.Duration(h) * time.Hour)
+		res, err := s.SolveOne(at, now)
+		if err != nil {
+			return plans, nil, fmt.Errorf("solver: hour %d: %w", h, err)
+		}
+		plans[at.Hour()] = res.Plan
+		results[at.Hour()] = res
+	}
+	return plans, results, nil
+}
+
+// SolveCoarse returns the best single-region plan — the O(|R|) baseline
+// discussed in §5.1 — still subject to tolerances and constraints. Region
+// candidates must be eligible for every stage.
+func (s *Solver) SolveCoarse(at, now time.Time) (Result, error) {
+	d := s.in.DAG()
+	home := dag.NewHomePlan(d, s.in.Home())
+	homeEst, err := s.est.Estimate(home, at, now)
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{home, homeEst}
+	for _, r := range s.commonEligible() {
+		if r == s.in.Home() {
+			continue
+		}
+		plan := dag.NewHomePlan(d, r)
+		est, err := s.est.Estimate(plan, at, now)
+		if err != nil {
+			return Result{}, err
+		}
+		cand := Result{plan, est}
+		if s.violates(est, homeEst) {
+			continue
+		}
+		if cand.Metric(s.obj.Priority) < best.Metric(s.obj.Priority) {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// commonEligible lists regions eligible for every stage.
+func (s *Solver) commonEligible() []region.ID {
+	counts := map[region.ID]int{}
+	for _, n := range s.order {
+		for _, r := range s.eligible[n] {
+			counts[r]++
+		}
+	}
+	var out []region.ID
+	for _, r := range s.eligible[s.order[0]] {
+		if counts[r] == len(s.order) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// solveExhaustive enumerates the full plan space.
+func (s *Solver) solveExhaustive(at, now time.Time, home Result) (Result, error) {
+	best := home
+	plan := home.Plan.Clone()
+	var walk func(i int) error
+	walk = func(i int) error {
+		if i == len(s.order) {
+			est, err := s.est.Estimate(plan, at, now)
+			if err != nil {
+				return err
+			}
+			if s.violates(est, home.Estimate) {
+				return nil
+			}
+			cand := Result{plan.Clone(), est}
+			if cand.Metric(s.obj.Priority) < best.Metric(s.obj.Priority) {
+				best = cand
+			}
+			return nil
+		}
+		for _, r := range s.eligible[s.order[i]] {
+			plan[s.order[i]] = r
+			if err := walk(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return Result{}, err
+	}
+	return best, nil
+}
+
+// rankedEligible orders a node's eligible regions by ascending forecast
+// intensity at `at` — the greedy heuristic HBSS biases toward.
+func (s *Solver) rankedEligible(n dag.NodeID, at, now time.Time) ([]region.ID, error) {
+	elig := s.eligible[n]
+	type ri struct {
+		r region.ID
+		v float64
+	}
+	rs := make([]ri, 0, len(elig))
+	for _, r := range elig {
+		v, err := s.in.IntensityAt(r, at, now)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, ri{r, v})
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].v < rs[j-1].v; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := make([]region.ID, len(rs))
+	for i, x := range rs {
+		out[i] = x.r
+	}
+	return out, nil
+}

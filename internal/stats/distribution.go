@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Distribution is an empirical distribution over float64 samples with a
+// bounded reservoir. The metrics pipeline stores one per (node, region) for
+// execution times and one per (region pair, size class) for transmission
+// latencies; the Monte Carlo estimator samples from them.
+type Distribution struct {
+	samples []float64
+	sorted  bool
+	max     int
+	count   int // total observations including evicted ones
+	sum     float64
+	next    int // ring index once the reservoir is full
+}
+
+// DefaultDistributionCap bounds the per-distribution reservoir. The paper's
+// Metric Manager keeps at most 5,000 invocations per workflow; individual
+// distributions stay well under that.
+const DefaultDistributionCap = 2000
+
+// NewDistribution returns an empty distribution holding at most capHint
+// samples (DefaultDistributionCap when capHint <= 0).
+func NewDistribution(capHint int) *Distribution {
+	if capHint <= 0 {
+		capHint = DefaultDistributionCap
+	}
+	return &Distribution{max: capHint}
+}
+
+// Add records one observation. Once the reservoir is full the oldest
+// observation is replaced (FIFO), mirroring the Metric Manager's selective
+// forgetting of stale invocations.
+func (d *Distribution) Add(x float64) {
+	d.count++
+	d.sum += x
+	if len(d.samples) < d.max {
+		d.samples = append(d.samples, x)
+	} else {
+		d.samples[d.next] = x
+		d.next = (d.next + 1) % d.max
+	}
+	d.sorted = false
+}
+
+// Len reports the number of retained samples.
+func (d *Distribution) Len() int { return len(d.samples) }
+
+// Count reports the total number of observations ever recorded.
+func (d *Distribution) Count() int { return d.count }
+
+// Mean returns the mean of retained samples (0 when empty).
+func (d *Distribution) Mean() float64 { return Mean(d.samples) }
+
+// Percentile returns the p-th percentile of retained samples.
+func (d *Distribution) Percentile(p float64) float64 {
+	v, err := Percentile(d.samples, p)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Sample draws one value by inverse-transform sampling of the empirical
+// CDF using u in [0,1). Empty distributions return 0.
+func (d *Distribution) Sample(u float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+		d.next = 0 // ring order destroyed by sort; restart FIFO from 0
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	rank := u * float64(len(d.samples)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(d.samples) {
+		return d.samples[len(d.samples)-1]
+	}
+	return d.samples[lo]*(1-frac) + d.samples[lo+1]*frac
+}
+
+// Scale returns a copy of the distribution with every sample multiplied by
+// k. The Metric Manager uses this to transplant a home-region execution
+// distribution onto a region with a different performance factor.
+func (d *Distribution) Scale(k float64) *Distribution {
+	out := NewDistribution(d.max)
+	for _, s := range d.samples {
+		out.Add(s * k)
+	}
+	return out
+}
+
+// Values returns a copy of the retained samples.
+func (d *Distribution) Values() []float64 {
+	return append([]float64(nil), d.samples...)
+}

@@ -1,0 +1,124 @@
+// Package stats provides the small statistical toolkit shared by the
+// metrics pipeline, the Monte Carlo estimator, and the evaluation harness:
+// empirical distributions, percentiles, geometric means, and coefficients
+// of variation.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by operations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when fewer than two
+// samples exist.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoefficientOfVariation returns stddev/|mean|. It returns +Inf when the
+// mean is zero and samples vary, and 0 for constant or empty input. The
+// Monte Carlo estimator's stopping rule (§7.1) is defined on this value.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 {
+		return 0
+	}
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return sd / math.Abs(m)
+}
+
+// GeometricMean returns the geometric mean of xs. All values must be
+// positive; non-positive values yield an error, matching how the paper
+// reports multiplicative carbon ratios.
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean of non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// MAPE returns the mean absolute percentage error between forecasts and
+// actuals, in percent. Pairs where the actual is zero are skipped.
+func MAPE(actual, forecast []float64) (float64, error) {
+	if len(actual) != len(forecast) {
+		return 0, errors.New("stats: MAPE length mismatch")
+	}
+	var sum float64
+	var n int
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs((actual[i] - forecast[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return sum / float64(n) * 100, nil
+}

@@ -1,0 +1,193 @@
+// Package termplot renders small ASCII/Unicode charts for the evaluation
+// harness: line charts for time series (Fig 2, Fig 9, Fig 11), horizontal
+// bars for grouped comparisons (Fig 7, Fig 12), and compact sparklines.
+// Stdout is the paper-reproduction medium here, so the harness can show a
+// figure's shape without leaving the terminal.
+package termplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact Unicode sparkline. Empty input
+// yields an empty string; a constant series renders at mid height.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := minMax(values)
+	var b strings.Builder
+	for _, v := range values {
+		idx := len(sparkLevels) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// seriesMarks assigns plotting glyphs per series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Line renders series as an ASCII chart of the given plot dimensions
+// (sensible minimums are enforced). Series longer than width are
+// downsampled by averaging; shorter series are spread across the width.
+func Line(w io.Writer, title string, series []Series, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var all []float64
+	for _, s := range series {
+		all = append(all, s.Values...)
+	}
+	if len(all) == 0 {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	lo, hi := minMax(all)
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		vals := resample(s.Values, width)
+		for x, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int((v - lo) / (hi - lo) * float64(height-1))
+			row := height - 1 - y
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x] = mark
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.3g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%10.3g", lo)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(row))
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 10), strings.Join(legend, "   "))
+	}
+}
+
+// Bars renders labeled horizontal bars scaled to the maximum value.
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) {
+	if len(labels) != len(values) {
+		fmt.Fprintf(w, "%s: (label/value mismatch)\n", title)
+		return
+	}
+	if width < 10 {
+		width = 40
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	if len(values) == 0 {
+		return
+	}
+	_, hi := minMax(values)
+	if hi <= 0 {
+		hi = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		n := int(v / hi * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%-*s |%s %.3g\n", labelW, labels[i], strings.Repeat("█", n), v)
+	}
+}
+
+// resample maps values onto exactly width buckets by averaging (when
+// longer) or nearest-neighbor spreading (when shorter).
+func resample(values []float64, width int) []float64 {
+	out := make([]float64, width)
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for i := 0; i < width; i++ {
+		start := i * len(values) / width
+		end := (i + 1) * len(values) / width
+		if end <= start {
+			end = start + 1
+		}
+		if end > len(values) {
+			end = len(values)
+		}
+		var sum float64
+		for _, v := range values[start:end] {
+			sum += v
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

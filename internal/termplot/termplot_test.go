@@ -1,0 +1,111 @@
+package termplot
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty input should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length = %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Errorf("extremes = %c %c", runes[0], runes[len(runes)-1])
+	}
+	// Monotone input → monotone glyph levels.
+	level := func(r rune) int { return strings.IndexRune(string(sparkLevels), r) }
+	for i := 1; i < len(runes); i++ {
+		if level(runes[i]) < level(runes[i-1]) {
+			t.Errorf("sparkline not monotone at %d: %s", i, s)
+		}
+	}
+	// Constant series renders mid-height, same rune everywhere.
+	c := []rune(Sparkline([]float64{5, 5, 5}))
+	if c[0] != c[1] || c[1] != c[2] {
+		t.Errorf("constant sparkline = %s", string(c))
+	}
+}
+
+func TestLineChartContainsSeriesMarks(t *testing.T) {
+	var sb strings.Builder
+	Line(&sb, "test", []Series{
+		{Name: "up", Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "down", Values: []float64{5, 4, 3, 2, 1}},
+	}, 30, 6)
+	out := sb.String()
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series marks missing")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("legend missing")
+	}
+	// Axis labels: max on first plotted row, min on last.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "5") {
+		t.Errorf("max label missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[len(lines)-2], "1") {
+		t.Errorf("min label missing: %q", lines[len(lines)-2])
+	}
+}
+
+func TestLineChartEmptyData(t *testing.T) {
+	var sb strings.Builder
+	Line(&sb, "empty", nil, 30, 6)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	Line(&sb, "flat", []Series{{Name: "c", Values: []float64{2, 2, 2}}}, 20, 5)
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "bars", []string{"a", "bb"}, []float64{1, 2}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "bars") || !strings.Contains(out, "█") {
+		t.Errorf("output = %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	countBlocks := func(s string) int { return strings.Count(s, "█") }
+	if countBlocks(lines[2]) != 2*countBlocks(lines[1]) {
+		t.Errorf("bar scaling wrong: %q vs %q", lines[1], lines[2])
+	}
+	// Mismatched input degrades gracefully.
+	sb.Reset()
+	Bars(&sb, "bad", []string{"a"}, []float64{1, 2}, 10)
+	if !strings.Contains(sb.String(), "mismatch") {
+		t.Error("mismatch not reported")
+	}
+}
+
+func TestResample(t *testing.T) {
+	// Downsampling averages.
+	out := resample([]float64{1, 1, 3, 3}, 2)
+	if out[0] != 1 || out[1] != 3 {
+		t.Errorf("downsample = %v", out)
+	}
+	// Upsampling repeats.
+	out = resample([]float64{1, 3}, 4)
+	if out[0] != 1 || out[1] != 1 || out[2] != 3 || out[3] != 3 {
+		t.Errorf("upsample = %v", out)
+	}
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import "caribou/internal/dag"
+
+const (
+	kb = 1e3
+	mb = 1e6
+)
+
+// DNAVisualization is the simplest benchmark: a single-stage workflow that
+// renders a visualization from a DNA sequence file (SeBS). Compute-heavy,
+// minimal intermediate data.
+func DNAVisualization() *Workload {
+	d := mustBuild(dag.NewBuilder("dna-visualization").
+		AddNode(dag.Node{ID: "visualize", MemoryMB: 1769}))
+	return &Workload{
+		Name:        "dna-visualization",
+		Description: "Single-step workflow generating a visualization from a DNA sequence file",
+		DAG:         d,
+		Nodes: map[dag.NodeID]NodeProfile{
+			"visualize": {MeanDurationSec: map[InputClass]float64{Small: 6.5, Large: 23.0}, DurationSigma: 0.10, CPUUtil: 0.92, MemoryMB: 1769},
+		},
+		EdgeBytes:  map[EdgeKey]map[InputClass]float64{},
+		EntryBytes: map[InputClass]float64{Small: 69 * kb, Large: 1.1 * mb},
+		OutputBytes: map[dag.NodeID]map[InputClass]float64{
+			"visualize": {Small: 450 * kb, Large: 2.8 * mb},
+		},
+		InputLabel: map[InputClass]string{Small: "69KB", Large: "1.1MB"},
+		ImageBytes: 250 * mb,
+	}
+}
+
+// RAGDataIngestion is a two-stage pipeline: extract document metadata from
+// a PDF, then generate embeddings for a document-chat LLM application.
+func RAGDataIngestion() *Workload {
+	d := mustBuild(dag.NewBuilder("rag-ingestion").
+		AddNode(dag.Node{ID: "extract", MemoryMB: 1769}).
+		AddNode(dag.Node{ID: "embed", MemoryMB: 3008}).
+		AddEdge("extract", "embed"))
+	return &Workload{
+		Name:        "rag-ingestion",
+		Description: "Two-stage pipeline: PDF metadata extraction then embedding generation",
+		DAG:         d,
+		Nodes: map[dag.NodeID]NodeProfile{
+			"extract": {MeanDurationSec: map[InputClass]float64{Small: 2.8, Large: 8.5}, DurationSigma: 0.12, CPUUtil: 0.75, MemoryMB: 1769},
+			"embed":   {MeanDurationSec: map[InputClass]float64{Small: 8.0, Large: 26.0}, DurationSigma: 0.10, CPUUtil: 0.85, MemoryMB: 3008},
+		},
+		EdgeBytes: map[EdgeKey]map[InputClass]float64{
+			{"extract", "embed"}: {Small: 180 * kb, Large: 650 * kb},
+		},
+		EntryBytes: map[InputClass]float64{Small: 1.6 * mb, Large: 5.8 * mb},
+		OutputBytes: map[dag.NodeID]map[InputClass]float64{
+			"embed": {Small: 320 * kb, Large: 1.1 * mb},
+		},
+		InputLabel: map[InputClass]string{Small: "33 Pages", Large: "115 Pages"},
+		ImageBytes: 420 * mb,
+	}
+}
+
+// ImageProcessing is a fan-out application applying four transformations
+// to an image in parallel (FunctionBench). Very short-running and
+// transmission-heavy: the full image travels to every transform stage.
+func ImageProcessing() *Workload {
+	b := dag.NewBuilder("image-processing").
+		AddNode(dag.Node{ID: "ingest", MemoryMB: 1024})
+	transforms := []dag.NodeID{"flip", "rotate", "filter", "grayscale"}
+	for _, t := range transforms {
+		b.AddNode(dag.Node{ID: t, MemoryMB: 1024}).AddEdge("ingest", t)
+	}
+	d := mustBuild(b)
+	nodes := map[dag.NodeID]NodeProfile{
+		"ingest": {MeanDurationSec: map[InputClass]float64{Small: 0.20, Large: 0.55}, DurationSigma: 0.15, CPUUtil: 0.55, MemoryMB: 1024},
+	}
+	edges := map[EdgeKey]map[InputClass]float64{}
+	for _, t := range transforms {
+		nodes[t] = NodeProfile{MeanDurationSec: map[InputClass]float64{Small: 0.30, Large: 1.05}, DurationSigma: 0.15, CPUUtil: 0.70, MemoryMB: 1024}
+		edges[EdgeKey{"ingest", t}] = map[InputClass]float64{Small: 222 * kb, Large: 2.4 * mb}
+	}
+	return &Workload{
+		Name:        "image-processing",
+		Description: "Fan-out application applying image transformations in parallel",
+		DAG:         d,
+		Nodes:       nodes,
+		EdgeBytes:   edges,
+		EntryBytes:  map[InputClass]float64{Small: 222 * kb, Large: 2.4 * mb},
+		OutputBytes: map[dag.NodeID]map[InputClass]float64{
+			"flip":      {Small: 222 * kb, Large: 2.4 * mb},
+			"rotate":    {Small: 222 * kb, Large: 2.4 * mb},
+			"filter":    {Small: 222 * kb, Large: 2.4 * mb},
+			"grayscale": {Small: 222 * kb, Large: 2.4 * mb},
+		},
+		InputLabel: map[InputClass]string{Small: "222KB", Large: "2.4MB"},
+		ImageBytes: 310 * mb,
+	}
+}
+
+// Text2SpeechCensoring mirrors Fig 3 with the evaluation's simplified
+// validation stage: text is validated, synthesized to speech on the
+// critical path while profanity detection runs in parallel off the
+// critical path; a conditional censor stage fires only when profanities
+// are found, and a synchronization node merges audio and censoring.
+func Text2SpeechCensoring() *Workload {
+	d := mustBuild(dag.NewBuilder("text2speech-censoring").
+		AddNode(dag.Node{ID: "validate", MemoryMB: 512}).
+		AddNode(dag.Node{ID: "text2speech", MemoryMB: 3008}).
+		AddNode(dag.Node{ID: "conversion", MemoryMB: 1769}).
+		AddNode(dag.Node{ID: "profanity", MemoryMB: 1024}).
+		AddNode(dag.Node{ID: "censor", MemoryMB: 1769}).
+		AddNode(dag.Node{ID: "compress", MemoryMB: 1769}).
+		AddEdge("validate", "text2speech").
+		AddEdge("validate", "profanity").
+		AddEdge("text2speech", "conversion").
+		AddEdge("conversion", "compress").
+		AddConditionalEdge("profanity", "censor", 0.5).
+		AddEdge("censor", "compress"))
+	return &Workload{
+		Name:        "text2speech-censoring",
+		Description: "Text-to-speech with parallel profanity detection and conditional censoring",
+		DAG:         d,
+		Nodes: map[dag.NodeID]NodeProfile{
+			"validate":    {MeanDurationSec: map[InputClass]float64{Small: 0.30, Large: 0.65}, DurationSigma: 0.12, CPUUtil: 0.50, MemoryMB: 512},
+			"text2speech": {MeanDurationSec: map[InputClass]float64{Small: 4.2, Large: 15.5}, DurationSigma: 0.10, CPUUtil: 0.88, MemoryMB: 3008},
+			"conversion":  {MeanDurationSec: map[InputClass]float64{Small: 1.4, Large: 5.2}, DurationSigma: 0.12, CPUUtil: 0.78, MemoryMB: 1769},
+			"profanity":   {MeanDurationSec: map[InputClass]float64{Small: 0.55, Large: 1.70}, DurationSigma: 0.12, CPUUtil: 0.65, MemoryMB: 1024},
+			"censor":      {MeanDurationSec: map[InputClass]float64{Small: 0.75, Large: 2.40}, DurationSigma: 0.12, CPUUtil: 0.70, MemoryMB: 1769},
+			"compress":    {MeanDurationSec: map[InputClass]float64{Small: 0.65, Large: 2.10}, DurationSigma: 0.12, CPUUtil: 0.72, MemoryMB: 1769},
+		},
+		EdgeBytes: map[EdgeKey]map[InputClass]float64{
+			{"validate", "text2speech"}:   {Small: 1 * kb, Large: 12 * kb},
+			{"validate", "profanity"}:     {Small: 1 * kb, Large: 12 * kb},
+			{"text2speech", "conversion"}: {Small: 1.5 * mb, Large: 17 * mb},
+			{"conversion", "compress"}:    {Small: 1.2 * mb, Large: 14 * mb},
+			{"profanity", "censor"}:       {Small: 2 * kb, Large: 7 * kb},
+			{"censor", "compress"}:        {Small: 4 * kb, Large: 11 * kb},
+		},
+		EntryBytes: map[InputClass]float64{Small: 1 * kb, Large: 12 * kb},
+		OutputBytes: map[dag.NodeID]map[InputClass]float64{
+			"compress": {Small: 1.0 * mb, Large: 11 * mb},
+		},
+		InputLabel: map[InputClass]string{Small: "1KB", Large: "12 KB"},
+		ImageBytes: 480 * mb,
+	}
+}
+
+// VideoAnalytics recognizes objects in video frames: the video splits into
+// chunks processed in parallel, and a synchronization node joins results.
+func VideoAnalytics() *Workload {
+	const chunks = 4
+	b := dag.NewBuilder("video-analytics").
+		AddNode(dag.Node{ID: "split", MemoryMB: 1769}).
+		AddNode(dag.Node{ID: "join", MemoryMB: 1769})
+	nodes := map[dag.NodeID]NodeProfile{
+		"split": {MeanDurationSec: map[InputClass]float64{Small: 0.70, Large: 2.00}, DurationSigma: 0.12, CPUUtil: 0.60, MemoryMB: 1769},
+		"join":  {MeanDurationSec: map[InputClass]float64{Small: 0.45, Large: 1.40}, DurationSigma: 0.12, CPUUtil: 0.55, MemoryMB: 1769},
+	}
+	edges := map[EdgeKey]map[InputClass]float64{}
+	for i := 0; i < chunks; i++ {
+		id := dag.NodeID(chunkName(i))
+		b.AddNode(dag.Node{ID: id, MemoryMB: 3008}).
+			AddEdge("split", id).
+			AddEdge(id, "join")
+		nodes[id] = NodeProfile{MeanDurationSec: map[InputClass]float64{Small: 2.6, Large: 8.5}, DurationSigma: 0.12, CPUUtil: 0.90, MemoryMB: 3008}
+		edges[EdgeKey{"split", id}] = map[InputClass]float64{Small: 52 * kb, Large: 600 * kb}
+		edges[EdgeKey{id, "join"}] = map[InputClass]float64{Small: 9 * kb, Large: 35 * kb}
+	}
+	d := mustBuild(b)
+	return &Workload{
+		Name:        "video-analytics",
+		Description: "Object recognition over video chunks processed in parallel and joined",
+		DAG:         d,
+		Nodes:       nodes,
+		EdgeBytes:   edges,
+		EntryBytes:  map[InputClass]float64{Small: 206 * kb, Large: 2.4 * mb},
+		OutputBytes: map[dag.NodeID]map[InputClass]float64{
+			"join": {Small: 14 * kb, Large: 55 * kb},
+		},
+		InputLabel: map[InputClass]string{Small: "206KB", Large: "2.4MB"},
+		ImageBytes: 520 * mb,
+	}
+}
+
+func chunkName(i int) string {
+	return "recognize-" + string(rune('a'+i))
+}

@@ -1,0 +1,230 @@
+package caribou
+
+import (
+	"fmt"
+
+	"caribou/internal/dag"
+	"caribou/internal/region"
+	"caribou/internal/workloads"
+)
+
+// Workflow declares a serverless workflow: its stages, dependencies, and
+// per-stage simulated work profiles. It is the Go analogue of the paper's
+// Python API (Listing 1): build it once, then Deploy it through a Client.
+type Workflow struct {
+	name    string
+	version string
+	funcs   []functionDecl
+	edges   []edgeDecl
+	err     error // first declaration error, surfaced at Deploy
+	// prebuilt short-circuits compilation for the built-in benchmark
+	// workflows.
+	prebuilt *workloads.Workload
+}
+
+type functionDecl struct {
+	name string
+	cfg  FunctionConfig
+}
+
+type edgeDecl struct {
+	from, to    string
+	payload     Payload
+	conditional bool
+	probability float64
+}
+
+// Work describes a stage's simulated execution profile: mean duration for
+// the small and large input classes, CPU utilization, and output sizes for
+// terminal stages. In the paper these come from running real code; here
+// they parameterize the simulated substrate.
+type Work struct {
+	SmallSeconds float64
+	LargeSeconds float64
+	// CPUUtil is mean vCPU utilization in (0, 1]; 0 defaults to 0.7.
+	CPUUtil float64
+	// DurationSigma is the lognormal jitter; 0 defaults to 0.1.
+	DurationSigma float64
+	// OutputSmallBytes/OutputLargeBytes are written back to home storage
+	// when the stage is terminal.
+	OutputSmallBytes float64
+	OutputLargeBytes float64
+}
+
+// Payload sizes the intermediate data carried by an edge.
+type Payload struct {
+	SmallBytes float64
+	LargeBytes float64
+}
+
+// FunctionConfig mirrors the per-function options of the decorator API:
+// memory size, region constraints for data compliance, and the simulated
+// work profile.
+type FunctionConfig struct {
+	MemoryMB float64
+	// AllowedRegions / DisallowedRegions pin or exclude regions for this
+	// stage only, superseding workflow-level constraints (§8).
+	AllowedRegions    []string
+	DisallowedRegions []string
+	// AllowedCountries restricts by data-residency jurisdiction.
+	AllowedCountries []string
+	Work             Work
+}
+
+// NewWorkflow starts a workflow declaration.
+func NewWorkflow(name, version string) *Workflow {
+	return &Workflow{name: name, version: version}
+}
+
+// Name returns the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+// Version returns the declared version string.
+func (w *Workflow) Version() string { return w.version }
+
+// Function registers a stage. The first registered function is the
+// workflow's entry unless edges imply otherwise (the DAG's unique start
+// node is validated at Deploy).
+func (w *Workflow) Function(name string, cfg FunctionConfig) *Workflow {
+	if name == "" {
+		w.fail(fmt.Errorf("caribou: function name must be non-empty"))
+		return w
+	}
+	w.funcs = append(w.funcs, functionDecl{name: name, cfg: cfg})
+	return w
+}
+
+// Edge declares that from invokes to (invoke_serverless_function in the
+// Python API), carrying the given payload.
+func (w *Workflow) Edge(from, to string, payload Payload) *Workflow {
+	w.edges = append(w.edges, edgeDecl{from: from, to: to, payload: payload, probability: 1})
+	return w
+}
+
+// ConditionalEdge declares a conditionally taken invocation with the given
+// historical probability (the condition itself is evaluated at run time;
+// the probability seeds the estimator until observations accumulate).
+func (w *Workflow) ConditionalEdge(from, to string, probability float64, payload Payload) *Workflow {
+	w.edges = append(w.edges, edgeDecl{from: from, to: to, payload: payload, conditional: true, probability: probability})
+	return w
+}
+
+func (w *Workflow) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// entryBytesDefault sizes the request payload when the user declares none:
+// a small JSON event.
+const entryBytesDefault = 4e3
+
+// compile lowers the declaration to the internal workload representation,
+// validating the DAG (§4: acyclic, single start node).
+func (w *Workflow) compile() (*workloads.Workload, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.prebuilt != nil {
+		return w.prebuilt, nil
+	}
+	if len(w.funcs) == 0 {
+		return nil, fmt.Errorf("caribou: workflow %q has no functions", w.name)
+	}
+	b := dag.NewBuilder(w.name)
+	nodes := make(map[dag.NodeID]workloads.NodeProfile, len(w.funcs))
+	outputs := make(map[dag.NodeID]map[workloads.InputClass]float64)
+	for _, f := range w.funcs {
+		cons := region.Constraint{
+			AllowedCountries: f.cfg.AllowedCountries,
+		}
+		for _, r := range f.cfg.AllowedRegions {
+			cons.AllowedRegions = append(cons.AllowedRegions, region.ID(r))
+		}
+		for _, r := range f.cfg.DisallowedRegions {
+			cons.DisallowedRegions = append(cons.DisallowedRegions, region.ID(r))
+		}
+		mem := f.cfg.MemoryMB
+		if mem <= 0 {
+			mem = 1769
+		}
+		b.AddNode(dag.Node{ID: dag.NodeID(f.name), MemoryMB: mem, Constraint: cons})
+
+		work := f.cfg.Work
+		util := work.CPUUtil
+		if util <= 0 {
+			util = 0.7
+		}
+		sigma := work.DurationSigma
+		if sigma <= 0 {
+			sigma = 0.1
+		}
+		small := work.SmallSeconds
+		if small <= 0 {
+			small = 0.5
+		}
+		large := work.LargeSeconds
+		if large <= 0 {
+			large = small
+		}
+		nodes[dag.NodeID(f.name)] = workloads.NodeProfile{
+			MeanDurationSec: map[workloads.InputClass]float64{
+				workloads.Small: small,
+				workloads.Large: large,
+			},
+			DurationSigma: sigma,
+			CPUUtil:       util,
+			MemoryMB:      mem,
+		}
+		if work.OutputSmallBytes > 0 || work.OutputLargeBytes > 0 {
+			outputs[dag.NodeID(f.name)] = map[workloads.InputClass]float64{
+				workloads.Small: work.OutputSmallBytes,
+				workloads.Large: work.OutputLargeBytes,
+			}
+		}
+	}
+	edgeBytes := make(map[workloads.EdgeKey]map[workloads.InputClass]float64, len(w.edges))
+	for _, e := range w.edges {
+		if e.conditional {
+			b.AddConditionalEdge(dag.NodeID(e.from), dag.NodeID(e.to), e.probability)
+		} else {
+			b.AddEdge(dag.NodeID(e.from), dag.NodeID(e.to))
+		}
+		edgeBytes[workloads.EdgeKey{From: dag.NodeID(e.from), To: dag.NodeID(e.to)}] = map[workloads.InputClass]float64{
+			workloads.Small: e.payload.SmallBytes,
+			workloads.Large: e.payload.LargeBytes,
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("caribou: %w", err)
+	}
+	return &workloads.Workload{
+		Name:        w.name,
+		Description: fmt.Sprintf("user workflow %s v%s", w.name, w.version),
+		DAG:         d,
+		Nodes:       nodes,
+		EdgeBytes:   edgeBytes,
+		EntryBytes: map[workloads.InputClass]float64{
+			workloads.Small: entryBytesDefault,
+			workloads.Large: entryBytesDefault,
+		},
+		OutputBytes: outputs,
+		InputLabel: map[workloads.InputClass]string{
+			workloads.Small: "small",
+			workloads.Large: "large",
+		},
+		ImageBytes: 300e6,
+	}, nil
+}
+
+// Benchmark returns one of the paper's five benchmark workflows as a
+// deployable unit (Table 1): "dna-visualization", "rag-ingestion",
+// "image-processing", "text2speech-censoring", or "video-analytics".
+func Benchmark(name string) (*Workflow, error) {
+	wl, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Workflow{name: wl.Name, version: "bench", prebuilt: wl}, nil
+}
