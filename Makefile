@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The solver and montecarlo packages fan work across goroutines; run them
+# under the race detector in addition to the plain suite.
+race:
+	$(GO) test -race ./internal/solver/... ./internal/montecarlo/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# verify is the pre-merge gate: full build + full suite + race-checked
+# solver/montecarlo + vet.
+verify: build test race vet
+	@echo "verify: ok"

@@ -226,6 +226,10 @@ func BenchmarkMonteCarloEstimate(b *testing.B) {
 }
 
 func newBenchSolver(b *testing.B, mm *metrics.Manager, est *montecarlo.Estimator) *solver.Solver {
+	return newBenchSolverWorkers(b, mm, est, 0)
+}
+
+func newBenchSolverWorkers(b *testing.B, mm *metrics.Manager, est *montecarlo.Estimator, workers int) *solver.Solver {
 	b.Helper()
 	s, err := solver.New(solver.Config{
 		Inputs: mm, Estimator: est,
@@ -233,7 +237,8 @@ func newBenchSolver(b *testing.B, mm *metrics.Manager, est *montecarlo.Estimator
 			Priority:   solver.PriorityCarbon,
 			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
 		},
-		Seed: 1,
+		Seed:    1,
+		Workers: workers,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -279,6 +284,58 @@ func BenchmarkSolver24Hourly(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveHourlySerial pins the daily solve to one worker — the
+// baseline the parallel bench is compared against (the two must produce
+// identical plans; see the solver determinism tests).
+func BenchmarkSolveHourlySerial(b *testing.B) {
+	mm, est := benchInputs(b)
+	s := newBenchSolverWorkers(b, mm, est, 1)
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveHourlyParallel runs the same solve with the default
+// worker pool (GOMAXPROCS): hourly solves and HBSS rounds fan out over
+// the shared evaluation semaphore.
+func BenchmarkSolveHourlyParallel(b *testing.B) {
+	mm, est := benchInputs(b)
+	s := newBenchSolverWorkers(b, mm, est, 0)
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotCompile measures flattening the Inputs interface into
+// a 24-hour evaluation snapshot — the fixed cost a solve pays once before
+// the (much larger) search reads only dense slices.
+func BenchmarkSnapshotCompile(b *testing.B) {
+	_, est := benchInputs(b)
+	now := benchStart.Add(24 * time.Hour)
+	hours := make([]time.Time, 24)
+	for h := range hours {
+		hours[h] = now.Add(time.Duration(h) * time.Hour)
+	}
+	cat, err := region.NorthAmerica().Subset(region.EvaluationFour())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Compile(cat.IDs(), hours, now); err != nil {
 			b.Fatal(err)
 		}
 	}

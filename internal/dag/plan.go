@@ -2,6 +2,7 @@ package dag
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -85,6 +86,35 @@ func (p Plan) Validate(d *DAG, cat *region.Catalogue, workflow region.Constraint
 	return nil
 }
 
+// Key returns a compact canonical encoding of the plan: stage→region
+// pairs in sorted stage order, with no decorative formatting. Two plans
+// are Equal iff their Keys match, so Key serves as a cheap map key for
+// plan interning and estimate memoization.
+func (p Plan) Key() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(string(p[NodeID(k)]))
+	}
+	return b.String()
+}
+
+// Hash returns a stable 64-bit FNV-1a hash of the plan's canonical Key.
+func (p Plan) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(p.Key()))
+	return h.Sum64()
+}
+
 // String renders the plan compactly, in topological-ish (sorted) order.
 func (p Plan) String() string {
 	keys := make([]string, 0, len(p))
@@ -129,18 +159,43 @@ func (h HourlyPlans) At(hour int) Plan {
 // DistinctPlans reports how many structurally distinct plans the set
 // contains.
 func (h HourlyPlans) DistinctPlans() int {
-	count := 0
-	for i, p := range h {
-		dup := false
-		for j := 0; j < i; j++ {
-			if p.Equal(h[j]) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			count++
-		}
+	seen := make(map[string]bool, len(h))
+	for _, p := range h {
+		seen[p.Key()] = true
 	}
-	return count
+	return len(seen)
 }
+
+// Interner assigns dense integer indices to a DAG's stages in topological
+// order, so hot paths (the compiled evaluation snapshot, the solver's
+// assignment vectors) can replace map[NodeID] lookups and Plan cloning
+// with slice reads and copies.
+type Interner struct {
+	order []NodeID
+	index map[NodeID]int
+}
+
+// NewInterner builds an interner over d's stages.
+func NewInterner(d *DAG) *Interner {
+	order := d.Nodes()
+	idx := make(map[NodeID]int, len(order))
+	for i, n := range order {
+		idx[n] = i
+	}
+	return &Interner{order: order, index: idx}
+}
+
+// Len reports the number of interned stages.
+func (it *Interner) Len() int { return len(it.order) }
+
+// Index returns the dense index of stage n.
+func (it *Interner) Index(n NodeID) (int, bool) {
+	i, ok := it.index[n]
+	return i, ok
+}
+
+// Node returns the stage at dense index i.
+func (it *Interner) Node(i int) NodeID { return it.order[i] }
+
+// Nodes returns the interned stages in index order (a copy).
+func (it *Interner) Nodes() []NodeID { return append([]NodeID(nil), it.order...) }

@@ -1,0 +1,85 @@
+package dag
+
+import (
+	"testing"
+
+	"caribou/internal/region"
+)
+
+func internDAG(t *testing.T) *DAG {
+	t.Helper()
+	d, err := NewBuilder("intern").
+		AddNode(Node{ID: "a"}).
+		AddNode(Node{ID: "b"}).
+		AddNode(Node{ID: "c"}).
+		AddEdge("a", "b").
+		AddEdge("a", "c").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPlanKeyCanonical(t *testing.T) {
+	p := Plan{"b": region.USWest1, "a": region.USEast1}
+	q := Plan{"a": region.USEast1, "b": region.USWest1}
+	if p.Key() != q.Key() {
+		t.Errorf("equal plans have different keys: %q vs %q", p.Key(), q.Key())
+	}
+	if p.Key() != "a=aws:us-east-1;b=aws:us-west-1" {
+		t.Errorf("key = %q", p.Key())
+	}
+	r := Plan{"a": region.USEast1, "b": region.USEast1}
+	if p.Key() == r.Key() {
+		t.Error("different plans share a key")
+	}
+	if p.Hash() != q.Hash() {
+		t.Error("equal plans hash differently")
+	}
+	if p.Hash() == r.Hash() {
+		t.Error("distinct plans collide (FNV-1a of distinct keys)")
+	}
+}
+
+func TestDistinctPlansCountsStructurally(t *testing.T) {
+	day := Plan{"a": region.USEast1}
+	night := Plan{"a": region.CACentral1}
+	var h HourlyPlans
+	for i := range h {
+		if i < 8 {
+			h[i] = night.Clone() // distinct map values, same structure
+		} else {
+			h[i] = day
+		}
+	}
+	if got := h.DistinctPlans(); got != 2 {
+		t.Errorf("DistinctPlans = %d, want 2", got)
+	}
+}
+
+func TestInternerRoundTrip(t *testing.T) {
+	d := internDAG(t)
+	it := NewInterner(d)
+	if it.Len() != 3 {
+		t.Fatalf("Len = %d", it.Len())
+	}
+	// Indices follow topological order and round-trip through Node.
+	for i, n := range d.Nodes() {
+		idx, ok := it.Index(n)
+		if !ok || idx != i {
+			t.Errorf("Index(%s) = %d,%v, want %d", n, idx, ok, i)
+		}
+		if it.Node(i) != n {
+			t.Errorf("Node(%d) = %s, want %s", i, it.Node(i), n)
+		}
+	}
+	if _, ok := it.Index("ghost"); ok {
+		t.Error("unknown stage should not resolve")
+	}
+	nodes := it.Nodes()
+	nodes[0] = "mutated"
+	if it.Node(0) == "mutated" {
+		t.Error("Nodes must return a copy")
+	}
+}

@@ -180,6 +180,25 @@ func (m *Manager) IntensityAt(r region.ID, t time.Time, now time.Time) (float64,
 	return m.src.At(zone, now)
 }
 
+// IntensitySeries resolves IntensityAt for a batch of solve instants with
+// one zone lookup. Snapshot compilation (montecarlo.Compile) detects this
+// method and uses it to pre-resolve the per-(hour, region) intensity table
+// for a whole 24-hour solve window in one call per region.
+func (m *Manager) IntensitySeries(r region.ID, hours []time.Time, now time.Time) ([]float64, error) {
+	if _, err := m.zoneOf(r); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(hours))
+	for i, t := range hours {
+		v, err := m.IntensityAt(r, t, now)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // ForecastMAPE evaluates forecast quality: it refits on the week before
 // trainEnd and scores horizon hours of forecasts against actuals,
 // returning the mean absolute percentage error (Fig 13b's metric).

@@ -102,39 +102,65 @@ func (e *Estimator) Estimate(plan dag.Plan, at, now time.Time) (*Estimate, error
 	}
 
 	rng := simclock.DeriveRand(e.seed, fmt.Sprintf("mc/%s/%d", d.Name(), at.Unix()))
-	var lat, cost, carb, execC, txC []float64
-	est := &Estimate{}
-	for est.Samples < MaxSamples {
+	var acc seriesAcc
+	for acc.samples() < MaxSamples {
 		for i := 0; i < BatchSize; i++ {
 			s, err := e.sampleOnce(plan, intensity, rng)
 			if err != nil {
 				return nil, err
 			}
-			lat = append(lat, s.latency)
-			cost = append(cost, s.cost)
-			carb = append(carb, s.execCarbon+s.txCarbon)
-			execC = append(execC, s.execCarbon)
-			txC = append(txC, s.txCarbon)
+			acc.add(s)
 		}
-		est.Samples = len(lat)
-		if meanCV(lat) < TargetCV && meanCV(cost) < TargetCV && meanCV(carb) < TargetCV {
-			est.Converged = true
+		if acc.converged() {
 			break
 		}
 	}
-	est.LatencyMean = stats.Mean(lat)
-	est.CostMean = stats.Mean(cost)
-	est.CarbonMean = stats.Mean(carb)
-	est.ExecCarbonMean = stats.Mean(execC)
-	est.TxCarbonMean = stats.Mean(txC)
+	return acc.summarize()
+}
+
+// seriesAcc accumulates the per-sample series and applies the batched
+// stopping rule. The interface-backed Estimator and the compiled Snapshot
+// share it so both paths summarize with identical arithmetic.
+type seriesAcc struct {
+	lat, cost, carb, execC, txC []float64
+	done                        bool
+}
+
+func (a *seriesAcc) samples() int { return len(a.lat) }
+
+func (a *seriesAcc) add(s sample) {
+	a.lat = append(a.lat, s.latency)
+	a.cost = append(a.cost, s.cost)
+	a.carb = append(a.carb, s.execCarbon+s.txCarbon)
+	a.execC = append(a.execC, s.execCarbon)
+	a.txC = append(a.txC, s.txCarbon)
+}
+
+func (a *seriesAcc) converged() bool {
+	if meanCV(a.lat) < TargetCV && meanCV(a.cost) < TargetCV && meanCV(a.carb) < TargetCV {
+		a.done = true
+	}
+	return a.done
+}
+
+func (a *seriesAcc) summarize() (*Estimate, error) {
+	est := &Estimate{
+		Samples:        len(a.lat),
+		Converged:      a.done,
+		LatencyMean:    stats.Mean(a.lat),
+		CostMean:       stats.Mean(a.cost),
+		CarbonMean:     stats.Mean(a.carb),
+		ExecCarbonMean: stats.Mean(a.execC),
+		TxCarbonMean:   stats.Mean(a.txC),
+	}
 	var err error
-	if est.LatencyP95, err = stats.Percentile(lat, 95); err != nil {
+	if est.LatencyP95, err = stats.Percentile(a.lat, 95); err != nil {
 		return nil, err
 	}
-	if est.CostP95, err = stats.Percentile(cost, 95); err != nil {
+	if est.CostP95, err = stats.Percentile(a.cost, 95); err != nil {
 		return nil, err
 	}
-	if est.CarbonP95, err = stats.Percentile(carb, 95); err != nil {
+	if est.CarbonP95, err = stats.Percentile(a.carb, 95); err != nil {
 		return nil, err
 	}
 	return est, nil

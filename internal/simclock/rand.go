@@ -18,10 +18,11 @@ func NewRand(seed int64) *Rand {
 	return &Rand{src: rand.New(rand.NewSource(seed))}
 }
 
-// DeriveRand returns an independent stream derived from a root seed and a
-// label. The derivation is a stable hash, so the same (seed, label) pair
-// always yields the same stream.
-func DeriveRand(seed int64, label string) *Rand {
+// DeriveSeed returns the child seed DeriveRand would seed its stream with
+// for (seed, label). It is exposed so hot paths that derive many sibling
+// streams — e.g. the solver's per-iteration proposal streams — can compute
+// or compare stream identities without constructing a Rand.
+func DeriveSeed(seed int64, label string) int64 {
 	h := fnv.New64a()
 	var b [8]byte
 	for i := 0; i < 8; i++ {
@@ -29,7 +30,14 @@ func DeriveRand(seed int64, label string) *Rand {
 	}
 	h.Write(b[:])
 	h.Write([]byte(label))
-	return NewRand(int64(h.Sum64()))
+	return int64(h.Sum64())
+}
+
+// DeriveRand returns an independent stream derived from a root seed and a
+// label. The derivation is a stable hash, so the same (seed, label) pair
+// always yields the same stream.
+func DeriveRand(seed int64, label string) *Rand {
+	return NewRand(DeriveSeed(seed, label))
 }
 
 // Float64 returns a uniform value in [0, 1).

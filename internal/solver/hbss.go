@@ -1,11 +1,10 @@
 package solver
 
 import (
+	"fmt"
 	"math"
-	"time"
 
-	"caribou/internal/dag"
-	"caribou/internal/region"
+	"caribou/internal/simclock"
 )
 
 // Heuristic-Biased Stochastic Sampling (Alg. 1). Hyper-parameters follow
@@ -19,89 +18,117 @@ const (
 	gammaCool   = 0.99
 )
 
-// solveHBSS runs Alg. 1 from the home deployment.
-func (s *Solver) solveHBSS(at, now time.Time, home Result) (Result, error) {
+// hbssBatch is the number of speculative HBSS iterations generated per
+// round. All proposals of a round derive from the round-start incumbent
+// and evaluate concurrently; acceptance then replays sequentially in
+// iteration order. The constant is deliberately independent of the worker
+// count so the search trajectory is identical at any parallelism.
+const hbssBatch = 16
+
+// solveHBSS runs the batched, deterministic variant of Alg. 1 from the
+// home deployment. Iteration i draws all of its randomness — the
+// perturbation and the pre-drawn acceptance uniform — from an independent
+// stream DeriveRand(seed, "solver/<at>/<i>"), so a proposal depends only
+// on (seed, hour, iteration, incumbent) and never on which goroutine
+// evaluated it.
+func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
+	s := c.s
 	regionsPerNode := 0
-	for _, n := range s.order {
-		if len(s.eligible[n]) > regionsPerNode {
-			regionsPerNode = len(s.eligible[n])
+	for _, e := range c.elig {
+		if len(e) > regionsPerNode {
+			regionsPerNode = len(e)
 		}
 	}
-	alpha := len(s.order) * regionsPerNode * alphaFactor
+	alpha := len(c.elig) * regionsPerNode * alphaFactor
 	if s.maxIter > 0 && alpha > s.maxIter {
 		alpha = s.maxIter
 	}
 
-	// Rank eligible regions once per solve by the carbon heuristic.
-	ranked := make(map[dag.NodeID][]region.ID, len(s.order))
-	for _, n := range s.order {
-		r, err := s.rankedEligible(n, at, now)
-		if err != nil {
-			return Result{}, err
-		}
-		ranked[n] = r
+	ranked := c.rankedEligible(h)
+	atUnix := c.snap.HourTime(h).Unix()
+
+	type proposal struct {
+		assign  []int
+		key     string
+		uAccept float64
 	}
 
 	gamma := gammaInit
 	current := home
 	best := home
-	seen := map[string]bool{home.Plan.String(): true}
-	explored := 1
+	seen := map[string]bool{assignKey(home.assign): true}
+	explored := int64(1)
 
-	for i := 0; i < alpha; i++ {
-		nd := s.genNewDeploymentWithBias(current.Plan, ranked)
-		key := nd.String()
-		if seen[key] {
-			continue
+	for iter := 0; iter < alpha; {
+		end := iter + hbssBatch
+		if end > alpha {
+			end = alpha
 		}
-		seen[key] = true
-		explored++
-		est, err := s.est.Estimate(nd, at, now)
+		props := make([]proposal, 0, end-iter)
+		assigns := make([][]int, 0, end-iter)
+		for i := iter; i < end; i++ {
+			rng := simclock.DeriveRand(s.seed, fmt.Sprintf("solver/%d/%d", atUnix, i))
+			nd := c.propose(current.assign, ranked, rng)
+			props = append(props, proposal{nd, assignKey(nd), rng.Float64()})
+			assigns = append(assigns, nd)
+		}
+		iter = end
+
+		// Previously seen plans are already memoized, so evaluating the
+		// whole round costs only its fresh plans.
+		ests, err := c.evalAll(assigns, h)
 		if err != nil {
-			return Result{}, err
+			return denseResult{}, err
 		}
-		if s.violates(est, home.Estimate) {
-			continue
-		}
-		cand := Result{nd, est}
-		accept := cand.Metric(s.obj.Priority) < current.Metric(s.obj.Priority) ||
-			s.mutate(gamma, current, cand)
-		if accept {
-			current = cand
-			gamma *= gammaCool
-			if cand.Metric(s.obj.Priority) < best.Metric(s.obj.Priority) {
-				best = cand
+
+		// Sequential acceptance replay, identical at any worker count.
+		for j, p := range props {
+			if seen[p.key] {
+				continue
 			}
-		}
-		if float64(explored) >= s.searchSpace() {
-			break // complete exploration
+			seen[p.key] = true
+			explored++
+			est := ests[j]
+			if s.violates(est, home.est) {
+				continue
+			}
+			cand := denseResult{p.assign, est}
+			accept := metricOf(cand.est, s.obj.Priority) < metricOf(current.est, s.obj.Priority) ||
+				acceptWorse(p.uAccept, gamma, current, cand, s.obj.Priority)
+			if accept {
+				current = cand
+				gamma *= gammaCool
+				if metricOf(cand.est, s.obj.Priority) < metricOf(best.est, s.obj.Priority) {
+					best = cand
+				}
+			}
+			if explored >= c.space {
+				return best, nil // complete exploration
+			}
 		}
 	}
 	return best, nil
 }
 
-// genNewDeploymentWithBias perturbs the current deployment: it reassigns a
-// small random subset of stages, drawing each new region from the
-// heuristic ranking with geometric bias β (rank k chosen with weight
-// β^k), so low-carbon regions are proposed most often but the whole space
-// stays reachable.
-func (s *Solver) genNewDeploymentWithBias(cur dag.Plan, ranked map[dag.NodeID][]region.ID) dag.Plan {
-	nd := cur.Clone()
-	// Number of stages to mutate: 1 + Geometric(1/2), capped at |N|.
+// propose perturbs the incumbent: 1 + Geometric(1/2) stages (capped at
+// |N|) are reassigned, each drawn from the hour's intensity ranking with
+// geometric bias β^rank, so low-carbon regions are proposed most often
+// but the whole space stays reachable.
+func (c *search) propose(cur []int, ranked [][]int, rng *simclock.Rand) []int {
+	nd := append([]int(nil), cur...)
 	k := 1
-	for k < len(s.order) && s.rng.Bool(0.5) {
+	for k < len(nd) && rng.Bool(0.5) {
 		k++
 	}
-	perm := s.rng.Perm(len(s.order))
+	perm := rng.Perm(len(nd))
 	for _, idx := range perm[:k] {
-		n := s.order[idx]
-		nd[n] = s.pickBiased(ranked[n])
+		nd[idx] = pickBiased(ranked[idx], rng)
 	}
 	return nd
 }
 
 // pickBiased selects from a ranked list with geometric weights β^rank.
-func (s *Solver) pickBiased(ranked []region.ID) region.ID {
+func pickBiased(ranked []int, rng *simclock.Rand) int {
 	if len(ranked) == 1 {
 		return ranked[0]
 	}
@@ -111,7 +138,7 @@ func (s *Solver) pickBiased(ranked []region.ID) region.ID {
 		total += w
 		w *= biasBeta
 	}
-	u := s.rng.Float64() * total
+	u := rng.Float64() * total
 	w = 1.0
 	for _, r := range ranked {
 		if u < w {
@@ -123,15 +150,15 @@ func (s *Solver) pickBiased(ranked []region.ID) region.ID {
 	return ranked[len(ranked)-1]
 }
 
-// mutate is the stochastic acceptance of Alg. 1 (MUT): accept a
-// non-improving deployment with probability exp(-Δ/γ), where Δ is the
-// relative metric regression. Cooling γ makes the search increasingly
-// greedy.
-func (s *Solver) mutate(gamma float64, cd, nd Result) bool {
-	denom := cd.Metric(s.obj.Priority)
+// acceptWorse is the stochastic acceptance of Alg. 1 (MUT): accept a
+// non-improving deployment when the iteration's pre-drawn uniform falls
+// below exp(-Δ/γ), where Δ is the relative metric regression. Cooling γ
+// makes the search increasingly greedy.
+func acceptWorse(u, gamma float64, cd, nd denseResult, p Priority) bool {
+	denom := metricOf(cd.est, p)
 	if denom <= 0 {
 		denom = 1e-12
 	}
-	delta := math.Abs(cd.Metric(s.obj.Priority)-nd.Metric(s.obj.Priority)) / denom
-	return s.rng.Float64() < math.Exp(-delta/gamma)
+	delta := math.Abs(metricOf(cd.est, p)-metricOf(nd.est, p)) / denom
+	return u < math.Exp(-delta/gamma)
 }

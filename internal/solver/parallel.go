@@ -1,0 +1,291 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"caribou/internal/montecarlo"
+	"caribou/internal/region"
+)
+
+// exhaustiveCutoff is the search-space size below which exhaustive
+// enumeration is cheaper than sampling.
+const exhaustiveCutoff = 256
+
+// search is the per-solve context: the compiled evaluation snapshot,
+// dense per-stage eligibility, the (plan, hour) estimate memo shared
+// across HBSS, exhaustive enumeration, and all hourly solves, and the
+// semaphore bounding concurrent evaluations.
+//
+// Determinism: a plan estimate is a pure function of (assignment, hour) —
+// the Monte Carlo stream is derived from (seed, workflow, hour), never
+// from shared state — so a memo hit is indistinguishable from a fresh
+// computation and neither scheduling order nor the worker count can
+// change any result.
+type search struct {
+	s     *Solver
+	snap  *montecarlo.Snapshot
+	elig  [][]int // per dense node index: eligible region indices
+	space int64
+
+	mu    sync.Mutex
+	cache map[memoKey]*montecarlo.Estimate
+
+	sem chan struct{} // bounds concurrent Estimate calls across all hours
+}
+
+// memoKey identifies one (plan, hour) evaluation.
+type memoKey struct {
+	plan string
+	hour int
+}
+
+// assignKey encodes a dense assignment as a compact map key (two bytes
+// per stage), replacing the Plan.String keys — and the dag.Plan cloning
+// around them — of the pre-snapshot search.
+func assignKey(assign []int) string {
+	b := make([]byte, 2*len(assign))
+	for i, r := range assign {
+		b[2*i] = byte(r)
+		b[2*i+1] = byte(r >> 8)
+	}
+	return string(b)
+}
+
+// newSearch compiles the solver's Inputs into a snapshot covering the
+// given solve instants. Only the home region and regions eligible for at
+// least one stage are interned.
+func (s *Solver) newSearch(hours []time.Time, now time.Time) (*search, error) {
+	used := map[region.ID]bool{s.in.Home(): true}
+	for _, n := range s.order {
+		for _, r := range s.eligible[n] {
+			used[r] = true
+		}
+	}
+	var ids []region.ID
+	for _, id := range s.in.Catalogue().IDs() {
+		if used[id] {
+			ids = append(ids, id)
+		}
+	}
+	snap, err := s.est.Compile(ids, hours, now)
+	if err != nil {
+		return nil, err
+	}
+	elig := make([][]int, len(s.order))
+	for i, n := range s.order {
+		for _, rid := range s.eligible[n] {
+			idx, ok := snap.RegionIndex(rid)
+			if !ok {
+				return nil, fmt.Errorf("solver: region %q not interned", rid)
+			}
+			elig[i] = append(elig[i], idx)
+		}
+	}
+	return &search{
+		s:     s,
+		snap:  snap,
+		elig:  elig,
+		space: s.searchSpace(),
+		cache: make(map[memoKey]*montecarlo.Estimate),
+		sem:   make(chan struct{}, s.workers),
+	}, nil
+}
+
+// estimate evaluates a single assignment at hour h through the memo.
+func (c *search) estimate(assign []int, h int) (*montecarlo.Estimate, error) {
+	ests, err := c.evalAll([][]int{assign}, h)
+	if err != nil {
+		return nil, err
+	}
+	return ests[0], nil
+}
+
+// evalAll returns estimates for the assignments at hour h: memo hits are
+// returned directly, misses are deduplicated and computed — concurrently
+// when more than one worker is configured, bounded by the shared
+// semaphore — then memoized. Errors surface in first-assignment order so
+// failure behaviour is as deterministic as success.
+func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error) {
+	out := make([]*montecarlo.Estimate, len(assigns))
+	keys := make([]string, len(assigns))
+	type job struct {
+		assign []int
+		key    string
+	}
+	var jobs []job
+	pending := map[string]bool{}
+	c.mu.Lock()
+	for i, a := range assigns {
+		k := assignKey(a)
+		keys[i] = k
+		if est, ok := c.cache[memoKey{k, h}]; ok {
+			out[i] = est
+			continue
+		}
+		if !pending[k] {
+			pending[k] = true
+			jobs = append(jobs, job{append([]int(nil), a...), k})
+		}
+	}
+	c.mu.Unlock()
+	if len(jobs) == 0 {
+		return out, nil
+	}
+
+	ests := make([]*montecarlo.Estimate, len(jobs))
+	errs := make([]error, len(jobs))
+	if c.s.workers <= 1 || len(jobs) == 1 {
+		for j := range jobs {
+			ests[j], errs[j] = c.snap.Estimate(jobs[j].assign, h)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for j := range jobs {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				c.sem <- struct{}{}
+				ests[j], errs[j] = c.snap.Estimate(jobs[j].assign, h)
+				<-c.sem
+			}(j)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	computed := make(map[string]*montecarlo.Estimate, len(jobs))
+	c.mu.Lock()
+	for j := range jobs {
+		c.cache[memoKey{jobs[j].key, h}] = ests[j]
+		computed[jobs[j].key] = ests[j]
+	}
+	c.mu.Unlock()
+	for i := range out {
+		if out[i] == nil {
+			out[i] = computed[keys[i]]
+		}
+	}
+	return out, nil
+}
+
+// denseResult pairs a dense assignment with its estimate.
+type denseResult struct {
+	assign []int
+	est    *montecarlo.Estimate
+}
+
+// solveHour solves one hour of the compiled window.
+func (c *search) solveHour(h int) (Result, error) {
+	homeAssign := c.snap.HomeAssign()
+	homeEst, err := c.estimate(homeAssign, h)
+	if err != nil {
+		return Result{}, err
+	}
+	home := denseResult{homeAssign, homeEst}
+	var best denseResult
+	if c.space <= exhaustiveCutoff {
+		best, err = c.solveExhaustive(h, home)
+	} else {
+		best, err = c.solveHBSS(h, home)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{c.snap.PlanOf(best.assign), best.est}, nil
+}
+
+// solveAllHours fans the hourly solves across goroutines. Hour
+// coordinators hold no evaluation slots — the shared semaphore bounds
+// actual Monte Carlo work at the configured worker count — and each
+// hour's outcome is independent of the others, so the fan-out cannot
+// perturb results.
+func (c *search) solveAllHours() ([]Result, error) {
+	n := len(c.snap.Hours())
+	results := make([]Result, n)
+	errs := make([]error, n)
+	if c.s.workers <= 1 {
+		for h := 0; h < n; h++ {
+			results[h], errs[h] = c.solveHour(h)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for h := 0; h < n; h++ {
+			wg.Add(1)
+			go func(h int) {
+				defer wg.Done()
+				results[h], errs[h] = c.solveHour(h)
+			}(h)
+		}
+		wg.Wait()
+	}
+	for h, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("hour %d: %w", h, err)
+		}
+	}
+	return results, nil
+}
+
+// solveExhaustive enumerates the full plan space in odometer order (the
+// same order as the pre-snapshot recursive walk), evaluates every plan
+// through the pool, and picks the winner by a sequential scan in
+// enumeration order.
+func (c *search) solveExhaustive(h int, home denseResult) (denseResult, error) {
+	var all [][]int
+	cur := make([]int, len(c.elig))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(c.elig) {
+			all = append(all, append([]int(nil), cur...))
+			return
+		}
+		for _, r := range c.elig[i] {
+			cur[i] = r
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	ests, err := c.evalAll(all, h)
+	if err != nil {
+		return denseResult{}, err
+	}
+	best := home
+	for i, est := range ests {
+		if c.s.violates(est, home.est) {
+			continue
+		}
+		if metricOf(est, c.s.obj.Priority) < metricOf(best.est, c.s.obj.Priority) {
+			best = denseResult{all[i], est}
+		}
+	}
+	return best, nil
+}
+
+// rankedEligible orders each stage's eligible regions by ascending grid
+// intensity at hour h — the greedy heuristic HBSS biases toward. The
+// ranking reads the snapshot's pre-resolved intensity table, sorts with
+// sort.Slice (region index breaks ties, keeping the order total and
+// deterministic), and is computed once per (stage, hour), shared by every
+// HBSS iteration of that hour.
+func (c *search) rankedEligible(h int) [][]int {
+	out := make([][]int, len(c.elig))
+	for i, elig := range c.elig {
+		rs := append([]int(nil), elig...)
+		sort.Slice(rs, func(a, b int) bool {
+			va, vb := c.snap.IntensityIdx(h, rs[a]), c.snap.IntensityIdx(h, rs[b])
+			if va != vb {
+				return va < vb
+			}
+			return rs[a] < rs[b]
+		})
+		out[i] = rs
+	}
+	return out
+}

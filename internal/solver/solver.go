@@ -7,16 +7,25 @@
 // ablation baseline) and coarse single-region selection are also provided.
 // A full solve emits 24 plans, one per hour, to track diurnal carbon
 // patterns.
+//
+// Each solve first compiles the montecarlo.Inputs into an immutable
+// evaluation snapshot (montecarlo.Snapshot) and then searches over dense
+// integer assignments: plan estimates become pure functions of
+// (assignment, hour), which lets the search memoize them by (plan, hour)
+// and fan evaluations — HBSS rounds, exhaustive enumeration, and the 24
+// hourly solves — across a bounded worker pool while staying bit-identical
+// to the serial search at any GOMAXPROCS.
 package solver
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"time"
 
 	"caribou/internal/dag"
 	"caribou/internal/montecarlo"
 	"caribou/internal/region"
-	"caribou/internal/simclock"
 )
 
 // Priority is the developer's optimization objective (§8).
@@ -80,6 +89,12 @@ type Config struct {
 	// (Alg. 1). The paper adjusts α dynamically to fit Lambda's
 	// 900-second limit; the cap plays that role here.
 	MaxIterations int
+	// Workers bounds concurrent plan evaluations: 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces a fully serial solve. Results are
+	// identical for every value — per-iteration RNG streams and
+	// order-independent estimate memoization make the search
+	// deterministic at any parallelism.
+	Workers int
 }
 
 // Solver searches deployment plans.
@@ -88,13 +103,14 @@ type Solver struct {
 	est  *montecarlo.Estimator
 	obj  Objective
 	cons region.Constraint
-	rng  *simclock.Rand
+	seed int64
 	// eligible[i] lists candidate regions for node order[i], already
 	// filtered by merged workflow- and function-level constraints and
 	// ranked later by the carbon heuristic.
 	order    []dag.NodeID
 	eligible map[dag.NodeID][]region.ID
 	maxIter  int
+	workers  int
 }
 
 // Result is one evaluated plan.
@@ -103,17 +119,20 @@ type Result struct {
 	Estimate *montecarlo.Estimate
 }
 
-// Metric returns the result's value under the priority.
-func (r Result) Metric(p Priority) float64 {
+// metricOf returns an estimate's value under the priority.
+func metricOf(est *montecarlo.Estimate, p Priority) float64 {
 	switch p {
 	case PriorityCost:
-		return r.Estimate.CostMean
+		return est.CostMean
 	case PriorityLatency:
-		return r.Estimate.LatencyMean
+		return est.LatencyMean
 	default:
-		return r.Estimate.CarbonMean
+		return est.CarbonMean
 	}
 }
+
+// Metric returns the result's value under the priority.
+func (r Result) Metric(p Priority) float64 { return metricOf(r.Estimate, p) }
 
 // New builds a solver, validating that every stage has at least one
 // eligible region and that the home region satisfies all constraints (the
@@ -128,15 +147,20 @@ func New(cfg Config) (*Solver, error) {
 	if len(candidates) == 0 {
 		candidates = cat.IDs()
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s := &Solver{
 		in:       cfg.Inputs,
 		est:      cfg.Estimator,
 		obj:      cfg.Objective,
 		cons:     cfg.Constraint,
-		rng:      simclock.DeriveRand(cfg.Seed, "solver/"+d.Name()),
+		seed:     cfg.Seed,
 		order:    d.Nodes(),
 		eligible: make(map[dag.NodeID][]region.ID, d.Len()),
 		maxIter:  cfg.MaxIterations,
+		workers:  workers,
 	}
 	for _, n := range s.order {
 		node, _ := d.Node(n)
@@ -160,11 +184,20 @@ func New(cfg Config) (*Solver, error) {
 }
 
 // searchSpace returns |R|^|N| over per-node eligible sets, saturating at
-// math.MaxInt64.
-func (s *Solver) searchSpace() float64 {
-	size := 1.0
+// math.MaxInt64 with overflow-checked integer arithmetic (a float64
+// product would silently reach +Inf for very large DAGs and lose exact
+// counts long before that).
+func (s *Solver) searchSpace() int64 {
+	size := int64(1)
 	for _, n := range s.order {
-		size *= float64(len(s.eligible[n]))
+		k := int64(len(s.eligible[n]))
+		if k == 0 {
+			return 0
+		}
+		if size > math.MaxInt64/k {
+			return math.MaxInt64
+		}
+		size *= k
 	}
 	return size
 }
@@ -189,31 +222,37 @@ func (s *Solver) violates(est, home *montecarlo.Estimate) bool {
 // enumeration when the search space is small enough that enumeration is
 // cheaper than sampling.
 func (s *Solver) SolveOne(at, now time.Time) (Result, error) {
-	home := dag.NewHomePlan(s.in.DAG(), s.in.Home())
-	homeEst, err := s.est.Estimate(home, at, now)
+	c, err := s.newSearch([]time.Time{at}, now)
 	if err != nil {
 		return Result{}, err
 	}
-	if s.searchSpace() <= 256 {
-		return s.solveExhaustive(at, now, Result{home, homeEst})
-	}
-	return s.solveHBSS(at, now, Result{home, homeEst})
+	return c.solveHour(0)
 }
 
 // SolveHourly emits one plan per hour of the day starting at dayStart
-// (§5.1: 24 plans per solve given sufficient carbon budget).
+// (§5.1: 24 plans per solve given sufficient carbon budget). The 24
+// hourly solves share one compiled snapshot and one estimate memo and run
+// concurrently up to the configured worker bound.
 func (s *Solver) SolveHourly(dayStart, now time.Time) (dag.HourlyPlans, []Result, error) {
 	var plans dag.HourlyPlans
-	results := make([]Result, 24)
 	base := dayStart.UTC().Truncate(time.Hour)
+	hours := make([]time.Time, 24)
+	for h := range hours {
+		hours[h] = base.Add(time.Duration(h) * time.Hour)
+	}
+	c, err := s.newSearch(hours, now)
+	if err != nil {
+		return plans, nil, fmt.Errorf("solver: %w", err)
+	}
+	hourly, err := c.solveAllHours()
+	if err != nil {
+		return plans, nil, fmt.Errorf("solver: %w", err)
+	}
+	results := make([]Result, 24)
 	for h := 0; h < 24; h++ {
-		at := base.Add(time.Duration(h) * time.Hour)
-		res, err := s.SolveOne(at, now)
-		if err != nil {
-			return plans, nil, fmt.Errorf("solver: hour %d: %w", h, err)
-		}
-		plans[at.Hour()] = res.Plan
-		results[at.Hour()] = res
+		at := hours[h]
+		plans[at.Hour()] = hourly[h].Plan
+		results[at.Hour()] = hourly[h]
 	}
 	return plans, results, nil
 }
@@ -222,28 +261,41 @@ func (s *Solver) SolveHourly(dayStart, now time.Time) (dag.HourlyPlans, []Result
 // discussed in §5.1 — still subject to tolerances and constraints. Region
 // candidates must be eligible for every stage.
 func (s *Solver) SolveCoarse(at, now time.Time) (Result, error) {
-	d := s.in.DAG()
-	home := dag.NewHomePlan(d, s.in.Home())
-	homeEst, err := s.est.Estimate(home, at, now)
+	c, err := s.newSearch([]time.Time{at}, now)
 	if err != nil {
 		return Result{}, err
 	}
-	best := Result{home, homeEst}
+	homeAssign := c.snap.HomeAssign()
+	homeEst, err := c.estimate(homeAssign, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	var assigns [][]int
 	for _, r := range s.commonEligible() {
 		if r == s.in.Home() {
 			continue
 		}
-		plan := dag.NewHomePlan(d, r)
-		est, err := s.est.Estimate(plan, at, now)
-		if err != nil {
-			return Result{}, err
+		idx, ok := c.snap.RegionIndex(r)
+		if !ok {
+			continue
 		}
-		cand := Result{plan, est}
+		a := make([]int, len(s.order))
+		for i := range a {
+			a[i] = idx
+		}
+		assigns = append(assigns, a)
+	}
+	ests, err := c.evalAll(assigns, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	best := Result{c.snap.PlanOf(homeAssign), homeEst}
+	for i, est := range ests {
 		if s.violates(est, homeEst) {
 			continue
 		}
-		if cand.Metric(s.obj.Priority) < best.Metric(s.obj.Priority) {
-			best = cand
+		if metricOf(est, s.obj.Priority) < best.Metric(s.obj.Priority) {
+			best = Result{c.snap.PlanOf(assigns[i]), est}
 		}
 	}
 	return best, nil
@@ -264,66 +316,4 @@ func (s *Solver) commonEligible() []region.ID {
 		}
 	}
 	return out
-}
-
-// solveExhaustive enumerates the full plan space.
-func (s *Solver) solveExhaustive(at, now time.Time, home Result) (Result, error) {
-	best := home
-	plan := home.Plan.Clone()
-	var walk func(i int) error
-	walk = func(i int) error {
-		if i == len(s.order) {
-			est, err := s.est.Estimate(plan, at, now)
-			if err != nil {
-				return err
-			}
-			if s.violates(est, home.Estimate) {
-				return nil
-			}
-			cand := Result{plan.Clone(), est}
-			if cand.Metric(s.obj.Priority) < best.Metric(s.obj.Priority) {
-				best = cand
-			}
-			return nil
-		}
-		for _, r := range s.eligible[s.order[i]] {
-			plan[s.order[i]] = r
-			if err := walk(i + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walk(0); err != nil {
-		return Result{}, err
-	}
-	return best, nil
-}
-
-// rankedEligible orders a node's eligible regions by ascending forecast
-// intensity at `at` — the greedy heuristic HBSS biases toward.
-func (s *Solver) rankedEligible(n dag.NodeID, at, now time.Time) ([]region.ID, error) {
-	elig := s.eligible[n]
-	type ri struct {
-		r region.ID
-		v float64
-	}
-	rs := make([]ri, 0, len(elig))
-	for _, r := range elig {
-		v, err := s.in.IntensityAt(r, at, now)
-		if err != nil {
-			return nil, err
-		}
-		rs = append(rs, ri{r, v})
-	}
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j].v < rs[j-1].v; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
-	}
-	out := make([]region.ID, len(rs))
-	for i, x := range rs {
-		out[i] = x.r
-	}
-	return out, nil
 }

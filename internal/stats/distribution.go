@@ -68,13 +68,23 @@ func (d *Distribution) Percentile(p float64) float64 {
 // Sample draws one value by inverse-transform sampling of the empirical
 // CDF using u in [0,1). Empty distributions return 0.
 func (d *Distribution) Sample(u float64) float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
 	if !d.sorted {
 		sort.Float64s(d.samples)
 		d.sorted = true
 		d.next = 0 // ring order destroyed by sort; restart FIFO from 0
+	}
+	return SampleSorted(d.samples, u)
+}
+
+// SampleSorted draws one value from an ascending sample slice by
+// inverse-transform sampling of its empirical CDF using u in [0,1). It is
+// the allocation-free core of Distribution.Sample, exposed so compiled
+// evaluation snapshots can sample from baked slices without touching a
+// Distribution (whose lazy sort makes Sample unsafe for concurrent use).
+// Empty slices return 0.
+func SampleSorted(sorted []float64, u float64) float64 {
+	if len(sorted) == 0 {
+		return 0
 	}
 	if u < 0 {
 		u = 0
@@ -82,13 +92,23 @@ func (d *Distribution) Sample(u float64) float64 {
 	if u >= 1 {
 		u = math.Nextafter(1, 0)
 	}
-	rank := u * float64(len(d.samples)-1)
+	rank := u * float64(len(sorted)-1)
 	lo := int(rank)
 	frac := rank - float64(lo)
-	if lo+1 >= len(d.samples) {
-		return d.samples[len(d.samples)-1]
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
 	}
-	return d.samples[lo]*(1-frac) + d.samples[lo+1]*frac
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// SortedValues returns an ascending copy of the retained samples without
+// disturbing the reservoir's insertion order. Snapshot compilation uses
+// this to bake distributions into immutable slices shared across
+// goroutines.
+func (d *Distribution) SortedValues() []float64 {
+	out := append([]float64(nil), d.samples...)
+	sort.Float64s(out)
+	return out
 }
 
 // Scale returns a copy of the distribution with every sample multiplied by
