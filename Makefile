@@ -10,18 +10,25 @@ build:
 test:
 	$(GO) test ./...
 
-# The solver and montecarlo packages fan work across goroutines; run them
-# under the race detector in addition to the plain suite.
+# The solver, montecarlo, eval, and carbon packages fan work across
+# goroutines; run them under the race detector in addition to the plain
+# suite. The eval pass includes the worker-pool determinism tests
+# (bit-identical figures at Workers=1 vs Workers=8) and the shared
+# trace-cache concurrency tests.
 race:
 	$(GO) test -race ./internal/solver/... ./internal/montecarlo/...
+	$(GO) test -race -run 'TestPool|TestFig7|TestCoarse|TestRunAll|TestDo|TestSharedSource' ./internal/eval/... ./internal/carbon/...
 
 vet:
 	$(GO) vet ./...
 
+# bench is a short smoke pass (one iteration per benchmark) so the whole
+# suite stays in CI budget; use `go test -bench . -benchtime Nx .` for
+# stable timings.
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
 # verify is the pre-merge gate: full build + full suite + race-checked
-# solver/montecarlo + vet.
+# solver/montecarlo/eval-pool + vet.
 verify: build test race vet
 	@echo "verify: ok"

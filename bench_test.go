@@ -73,6 +73,72 @@ func BenchmarkFig7GeoShifting(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7Serial and BenchmarkFig7Parallel bracket the worker-pool
+// speedup on the same reduced-scale Fig 7. On multi-core hosts the
+// parallel variant approaches serial/(cores) wall time; on a single-core
+// host the two coincide (the pool adds only scheduling noise). Fresh pools
+// per iteration keep the memo cold so only concurrency is measured.
+func BenchmarkFig7Serial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Fig7(eval.Fig7Options{
+			Workloads: quickWLs(),
+			Classes:   []workloads.InputClass{workloads.Small},
+			PerDay:    96,
+			Seed:      int64(i + 1),
+			Pool:      eval.NewPool(1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig7(io.Discard, rows)
+	}
+}
+
+func BenchmarkFig7Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Fig7(eval.Fig7Options{
+			Workloads: quickWLs(),
+			Classes:   []workloads.InputClass{workloads.Small},
+			PerDay:    96,
+			Seed:      int64(i + 1),
+			Pool:      eval.NewPool(0), // GOMAXPROCS workers
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.PrintFig7(io.Discard, rows)
+	}
+}
+
+// BenchmarkPoolMemoSweep measures the cross-figure memo: Figs 7-10 at
+// reduced scale share one pool, so the coarse home baselines and the
+// best-case fine(all) runs execute once and every later figure re-accounts
+// them. Reports the memo hit rate alongside wall time.
+func BenchmarkPoolMemoSweep(b *testing.B) {
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		pool := eval.NewPool(0)
+		seed := int64(i + 1)
+		wls := quickWLs()
+		classes := []workloads.InputClass{workloads.Small}
+		if _, err := eval.Fig7(eval.Fig7Options{Workloads: wls, Classes: classes, PerDay: 96, Seed: seed, Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.Fig8(eval.Fig8Options{Workloads: wls, Classes: classes, PerDay: 96, Seed: seed, Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.Fig9(eval.Fig9Options{Workloads: wls, Classes: classes, Factors: []float64{1e-4, 1e-3, 1e-2}, PerDay: 96, Seed: seed, Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eval.Fig10(eval.Fig10Options{Workloads: wls, Tolerances: []float64{0, 5, 10}, PerDay: 96, Seed: seed, Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
+		st := pool.Stats()
+		hitRate = float64(st.Hits) / float64(st.Submitted)
+	}
+	b.ReportMetric(hitRate*100, "memo-hit-%")
+}
+
 func BenchmarkFig8ComputeTxRatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := eval.Fig8(eval.Fig8Options{
@@ -450,7 +516,7 @@ func BenchmarkCarbonAccounting(b *testing.B) {
 
 func BenchmarkExtGlobalShifting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.ExtGlobal(quickWLs(), int64(i+1), 96)
+		rows, err := eval.ExtGlobal(nil, quickWLs(), int64(i+1), 96)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -462,7 +528,7 @@ func BenchmarkExtGlobalShifting(b *testing.B) {
 
 func BenchmarkExtTemporalShifting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.ExtTemporal(quickWLs(), int64(i+1), 96)
+		rows, err := eval.ExtTemporal(nil, quickWLs(), int64(i+1), 96)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -474,7 +540,7 @@ func BenchmarkExtTemporalShifting(b *testing.B) {
 
 func BenchmarkAblationSolverStrategies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := eval.AblationSolver(int64(i+1), 96)
+		rows, err := eval.AblationSolver(nil, int64(i+1), 96)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	caribou-eval [-quick] [-seed N] <experiment>
+//	caribou-eval [-quick] [-seed N] [-workers N] <experiment>
 //
 // where <experiment> is one of: fig2, table1, fig7, fig8, fig9, fig10,
 // fig11, fig12, fig13, table2, all. The -quick flag shrinks workload
@@ -26,6 +26,7 @@ func main() {
 	plot := flag.Bool("plot", false, "also render terminal charts of the figure shapes")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
 	seed := flag.Int64("seed", 17, "experiment seed")
+	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -33,10 +34,17 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
-	if err := run(name, runOpts{quick: *quick, plot: *plot, csvDir: *csvDir, seed: *seed}); err != nil {
+	// One pool for the whole invocation: figures that share runs (e.g. the
+	// coarse home baselines) hit the memo instead of re-executing.
+	pool := eval.NewPool(*workers)
+	if err := run(name, runOpts{quick: *quick, plot: *plot, csvDir: *csvDir, seed: *seed, pool: pool}); err != nil {
 		fmt.Fprintf(os.Stderr, "caribou-eval %s: %v\n", name, err)
 		os.Exit(1)
 	}
+	// Stats go to stderr so stdout stays bit-comparable across -workers.
+	st := pool.Stats()
+	fmt.Fprintf(os.Stderr, "[pool: %d workers, %d submitted, %d executed, %d memo hits]\n",
+		pool.Workers(), st.Submitted, st.Executed, st.Hits)
 }
 
 // quickPerDay shrinks learning-day traffic under -quick.
@@ -48,7 +56,7 @@ func quickPerDay(quick bool) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] [-workers N] <experiment>
 
 experiments:
   fig2    grid carbon intensity of the four evaluation regions
@@ -79,6 +87,7 @@ type runOpts struct {
 	plot   bool
 	csvDir string
 	seed   int64
+	pool   *eval.Pool
 }
 
 // writeCSV writes rows to <csvDir>/<name>.csv when -csv is set.
@@ -98,7 +107,7 @@ func writeCSV(opts runOpts, name string, rows interface{}) error {
 }
 
 func run(name string, opts runOpts) error {
-	quick, plot, seed := opts.quick, opts.plot, opts.seed
+	quick, plot, seed, pool := opts.quick, opts.plot, opts.seed, opts.pool
 	w := os.Stdout
 	started := time.Now()
 	defer func() { fmt.Fprintf(w, "\n[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond)) }()
@@ -130,7 +139,7 @@ func run(name string, opts runOpts) error {
 	case "table2":
 		eval.PrintTable2(w, eval.Table2())
 	case "fig7":
-		rows, err := eval.Fig7(eval.Fig7Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses})
+		rows, err := eval.Fig7(eval.Fig7Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses, Pool: pool})
 		if err != nil {
 			return err
 		}
@@ -142,7 +151,7 @@ func run(name string, opts runOpts) error {
 			eval.PlotFig7(w, rows)
 		}
 	case "fig8":
-		points, err := eval.Fig8(eval.Fig8Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses})
+		points, err := eval.Fig8(eval.Fig8Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses, Pool: pool})
 		if err != nil {
 			return err
 		}
@@ -151,7 +160,7 @@ func run(name string, opts runOpts) error {
 			return err
 		}
 	case "fig9":
-		opt := eval.Fig9Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses}
+		opt := eval.Fig9Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses, Pool: pool}
 		if quick {
 			opt.Factors = []float64{1e-4, 1e-3, 1e-2}
 		}
@@ -167,7 +176,7 @@ func run(name string, opts runOpts) error {
 			eval.PlotFig9(w, points)
 		}
 	case "fig10":
-		opt := eval.Fig10Options{Seed: seed}
+		opt := eval.Fig10Options{Seed: seed, Pool: pool}
 		if quick {
 			opt.Tolerances = []float64{0, 5, 10}
 		}
@@ -180,7 +189,7 @@ func run(name string, opts runOpts) error {
 			return err
 		}
 	case "fig11":
-		opt := eval.Fig11Options{Seed: seed}
+		opt := eval.Fig11Options{Seed: seed, Pool: pool}
 		if quick {
 			opt.Days = 3
 			opt.PerDay = 300
@@ -194,7 +203,7 @@ func run(name string, opts runOpts) error {
 			eval.PlotFig11(w, results)
 		}
 	case "fig12":
-		rows, err := eval.Fig12(eval.Fig12Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses})
+		rows, err := eval.Fig12(eval.Fig12Options{Seed: seed, Workloads: quickWLs, Classes: quickClasses, Pool: pool})
 		if err != nil {
 			return err
 		}
@@ -203,7 +212,7 @@ func run(name string, opts runOpts) error {
 			return err
 		}
 	case "fig13":
-		opt := eval.Fig13Options{Seed: seed}
+		opt := eval.Fig13Options{Seed: seed, Pool: pool}
 		if quick {
 			opt.Frequencies = []int{1, 4, 7}
 			opt.PerDay = 400
@@ -224,25 +233,25 @@ func run(name string, opts runOpts) error {
 			eval.PlotFig13b(w, b)
 		}
 	case "ext-global":
-		rows, err := eval.ExtGlobal(quickWLs, seed, quickPerDay(quick))
+		rows, err := eval.ExtGlobal(pool, quickWLs, seed, quickPerDay(quick))
 		if err != nil {
 			return err
 		}
 		eval.PrintExtGlobal(w, rows)
 	case "ext-temporal":
-		rows, err := eval.ExtTemporal(quickWLs, seed, quickPerDay(quick))
+		rows, err := eval.ExtTemporal(pool, quickWLs, seed, quickPerDay(quick))
 		if err != nil {
 			return err
 		}
 		eval.PrintExtTemporal(w, rows)
 	case "ext-signal":
-		rows, err := eval.ExtSignal(quickWLs, seed, quickPerDay(quick))
+		rows, err := eval.ExtSignal(pool, quickWLs, seed, quickPerDay(quick))
 		if err != nil {
 			return err
 		}
 		eval.PrintExtSignal(w, rows)
 	case "ext-shift":
-		opt := eval.ExtShiftOptions{Seed: seed}
+		opt := eval.ExtShiftOptions{Seed: seed, Pool: pool}
 		if quick {
 			opt.Days = 4
 			opt.PerDay = 120
@@ -253,7 +262,7 @@ func run(name string, opts runOpts) error {
 		}
 		eval.PrintExtShift(w, rows)
 	case "ablate-solver":
-		rows, err := eval.AblationSolver(seed, quickPerDay(quick))
+		rows, err := eval.AblationSolver(pool, seed, quickPerDay(quick))
 		if err != nil {
 			return err
 		}
@@ -265,7 +274,7 @@ func run(name string, opts runOpts) error {
 		}
 		eval.PrintAblationForecast(w, rows)
 	case "ablate-bench":
-		rows, err := eval.AblationBenchTraffic(seed, quickPerDay(quick))
+		rows, err := eval.AblationBenchTraffic(pool, seed, quickPerDay(quick))
 		if err != nil {
 			return err
 		}

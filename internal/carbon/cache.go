@@ -1,0 +1,71 @@
+package carbon
+
+import (
+	"sync"
+	"time"
+)
+
+// The evaluation harness builds one isolated Env per experiment run, and
+// every Env used to synthesize its own carbon traces — the single most
+// expensive part of Env construction, repeated byte-identically across
+// runs sharing a (seed, window). SyntheticSource is immutable after
+// construction, so identical sources can be shared freely, including by
+// Envs running concurrently on different worker goroutines.
+
+// traceKey canonicalizes NewSyntheticSource's inputs: start is truncated
+// to the hour and the horizon reduced to an hour count, exactly as the
+// constructor does, so windows that materialize the same trace share one
+// entry.
+type traceKey struct {
+	seed  int64
+	start int64 // unix seconds of the truncated start
+	hours int
+}
+
+// traceEntry singleflights synthesis: concurrent first requests for a key
+// synthesize once and share the result.
+type traceEntry struct {
+	once sync.Once
+	src  *SyntheticSource
+	err  error
+}
+
+var traceCache struct {
+	mu sync.Mutex
+	m  map[traceKey]*traceEntry
+}
+
+// SharedSource returns a memoized SyntheticSource for (seed, [start, end)),
+// synthesizing it on first use. Callers must treat the result as
+// immutable; it may be shared with concurrently running environments. The
+// cache is unbounded but keyed by the handful of distinct (seed, window)
+// pairs an evaluation sweep touches.
+func SharedSource(seed int64, start, end time.Time) (*SyntheticSource, error) {
+	trunc := start.UTC().Truncate(time.Hour)
+	if !end.After(trunc) {
+		// Delegate invalid windows so the error (and its message) stays in
+		// one place.
+		return NewSyntheticSource(seed, start, end)
+	}
+	hours := int(end.Sub(trunc) / time.Hour)
+	if end.Sub(trunc)%time.Hour != 0 {
+		hours++
+	}
+	key := traceKey{seed: seed, start: trunc.Unix(), hours: hours}
+
+	traceCache.mu.Lock()
+	if traceCache.m == nil {
+		traceCache.m = make(map[traceKey]*traceEntry)
+	}
+	e, ok := traceCache.m[key]
+	if !ok {
+		e = &traceEntry{}
+		traceCache.m[key] = e
+	}
+	traceCache.mu.Unlock()
+
+	e.once.Do(func() {
+		e.src, e.err = NewSyntheticSource(seed, start, end)
+	})
+	return e.src, e.err
+}

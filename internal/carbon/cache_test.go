@@ -1,0 +1,112 @@
+package carbon
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedSourceReturnsOneInstancePerKey(t *testing.T) {
+	start := time.Date(2023, 10, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(48 * time.Hour)
+
+	a, err := SharedSource(42, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharedSource(42, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical (seed, window) should share one SyntheticSource")
+	}
+	// A sub-hour offset that truncates to the same hourly grid shares too.
+	c, err := SharedSource(42, start.Add(20*time.Minute), end.Add(-20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Error("windows canonicalizing to the same hourly trace should share")
+	}
+
+	d, err := SharedSource(43, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different seeds must not share a source")
+	}
+	e, err := SharedSource(42, start, end.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == a {
+		t.Error("different horizons must not share a source")
+	}
+}
+
+func TestSharedSourceMatchesFreshSynthesis(t *testing.T) {
+	start := time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
+	end := start.Add(72 * time.Hour)
+	shared, err := SharedSource(7, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSyntheticSource(7, start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, zone := range []string{"US-MIDA-PJM", "CA-QC"} {
+		for h := 0; h < 72; h++ {
+			at := start.Add(time.Duration(h) * time.Hour)
+			a, err := shared.At(zone, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := fresh.At(zone, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("%s h=%d: shared %v != fresh %v", zone, h, a, b)
+			}
+		}
+	}
+}
+
+func TestSharedSourceInvalidWindow(t *testing.T) {
+	start := time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
+	if _, err := SharedSource(1, start, start); err == nil {
+		t.Error("empty window should error")
+	}
+	if _, err := SharedSource(1, start, start.Add(-time.Hour)); err == nil {
+		t.Error("inverted window should error")
+	}
+}
+
+func TestSharedSourceConcurrentFirstUse(t *testing.T) {
+	start := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(24 * time.Hour)
+	const n = 16
+	srcs := make([]*SyntheticSource, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := SharedSource(999, start, end)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			srcs[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if srcs[i] != srcs[0] {
+			t.Fatal("concurrent first use produced distinct sources")
+		}
+	}
+}

@@ -67,7 +67,10 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	src, err := carbon.NewSyntheticSource(cfg.Seed, cfg.Start.Add(-8*24*time.Hour), cfg.End.Add(2*24*time.Hour))
+	// Traces come from the shared cache: environments with the same
+	// (seed, window) — e.g. the dozens of independent runs of one figure
+	// sweep — share one immutable source instead of re-synthesizing it.
+	src, err := carbon.SharedSource(cfg.Seed, cfg.Start.Add(-8*24*time.Hour), cfg.End.Add(2*24*time.Hour))
 	if err != nil {
 		return nil, err
 	}

@@ -29,57 +29,77 @@ type AblationSolverRow struct {
 }
 
 // AblationSolver runs the three strategies on workloads small enough to
-// enumerate exhaustively (search space ≤ 4^|N|).
-func AblationSolver(seed int64, perDay int) ([]AblationSolverRow, error) {
+// enumerate exhaustively (search space ≤ 4^|N|). The per-workload
+// learning runs execute concurrently on the pool (nil uses a private
+// default-width pool).
+func AblationSolver(p *Pool, seed int64, perDay int) ([]AblationSolverRow, error) {
 	wls := []*workloads.Workload{
 		workloads.DNAVisualization(), // 4 plans
 		workloads.RAGDataIngestion(), // 16 plans
 	}
-	var rows []AblationSolverRow
-	for _, wl := range wls {
-		_, app, err := learnedApp(wl, region.EvaluationFour(), seed, perDayOr(perDay))
+	perWL := make([][]AblationSolverRow, len(wls))
+	err := p.orDefault().Do(len(wls), func(i int) error {
+		rows, err := ablationSolverOne(wls[i], seed, perDay)
 		if err != nil {
-			return nil, fmt.Errorf("ablate-solver %s: %w", wl.Name, err)
+			return err
 		}
-		now := EvalStart.Add(24 * time.Hour)
-		home := dag.NewHomePlan(wl.DAG, region.USEast1)
-		homeEst, err := app.Estimator.Estimate(home, now, now)
+		perWL[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationSolverRow
+	for _, r := range perWL {
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+func ablationSolverOne(wl *workloads.Workload, seed int64, perDay int) ([]AblationSolverRow, error) {
+	_, app, err := learnedApp(wl, region.EvaluationFour(), seed, perDayOr(perDay))
+	if err != nil {
+		return nil, fmt.Errorf("ablate-solver %s: %w", wl.Name, err)
+	}
+	now := EvalStart.Add(24 * time.Hour)
+	home := dag.NewHomePlan(wl.DAG, region.USEast1)
+	homeEst, err := app.Estimator.Estimate(home, now, now)
+	if err != nil {
+		return nil, err
+	}
+	type solveFn func() (float64, error)
+	strategies := []struct {
+		name string
+		fn   solveFn
+	}{
+		{"hbss/exhaustive", func() (float64, error) {
+			res, err := app.Solver.SolveOne(now, now)
+			if err != nil {
+				return 0, err
+			}
+			return res.Estimate.CarbonMean, nil
+		}},
+		{"coarse", func() (float64, error) {
+			res, err := app.Solver.SolveCoarse(now, now)
+			if err != nil {
+				return 0, err
+			}
+			return res.Estimate.CarbonMean, nil
+		}},
+	}
+	var rows []AblationSolverRow
+	for _, s := range strategies {
+		start := time.Now()
+		carbonMean, err := s.fn()
 		if err != nil {
 			return nil, err
 		}
-		type solveFn func() (float64, error)
-		strategies := []struct {
-			name string
-			fn   solveFn
-		}{
-			{"hbss/exhaustive", func() (float64, error) {
-				res, err := app.Solver.SolveOne(now, now)
-				if err != nil {
-					return 0, err
-				}
-				return res.Estimate.CarbonMean, nil
-			}},
-			{"coarse", func() (float64, error) {
-				res, err := app.Solver.SolveCoarse(now, now)
-				if err != nil {
-					return 0, err
-				}
-				return res.Estimate.CarbonMean, nil
-			}},
-		}
-		for _, s := range strategies {
-			start := time.Now()
-			carbonMean, err := s.fn()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationSolverRow{
-				Workload:    wl.Name,
-				Strategy:    s.name,
-				Normalized:  carbonMean / homeEst.CarbonMean,
-				SolveMillis: time.Since(start).Milliseconds(),
-			})
-		}
+		rows = append(rows, AblationSolverRow{
+			Workload:    wl.Name,
+			Strategy:    s.name,
+			Normalized:  carbonMean / homeEst.CarbonMean,
+			SolveMillis: time.Since(start).Milliseconds(),
+		})
 	}
 	return rows, nil
 }
@@ -111,7 +131,7 @@ type AblationForecastRow struct {
 // AblationForecast scores Holt-Winters against naive persistence on the
 // synthetic carbon traces.
 func AblationForecast(seed int64) ([]AblationForecastRow, error) {
-	src, err := carbon.NewSyntheticSource(seed, EvalStart.Add(-8*24*time.Hour), EvalStart.Add(9*24*time.Hour))
+	src, err := carbon.SharedSource(seed, EvalStart.Add(-8*24*time.Hour), EvalStart.Add(9*24*time.Hour))
 	if err != nil {
 		return nil, err
 	}
@@ -167,33 +187,37 @@ type AblationBenchTrafficRow struct {
 }
 
 // AblationBenchTraffic sweeps the benchmarking fraction on Text2Speech.
-func AblationBenchTraffic(seed int64, perDay int) ([]AblationBenchTrafficRow, error) {
+// All runs execute concurrently on the pool (nil uses a private
+// default-width pool); the home baseline is shared with any other figure
+// on the same pool via the memo.
+func AblationBenchTraffic(p *Pool, seed int64, perDay int) ([]AblationBenchTrafficRow, error) {
 	wl := workloads.Text2SpeechCensoring()
 	tx := carbon.BestCase()
-	home, err := Run(RunConfig{
+	fracs := []float64{0.02, 0.10, 0.25, 0.50}
+	cfgs := []RunConfig{{
 		Workload: wl, Class: workloads.Small,
 		Strategy: CoarseIn(region.USEast1),
 		PlanTx:   tx, PerDay: perDay, Seed: seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	homeSum, err := home.Summarize(tx)
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationBenchTrafficRow
-	for _, frac := range []float64{0.02, 0.10, 0.25, 0.50} {
-		res, err := Run(RunConfig{
+	}}
+	for _, frac := range fracs {
+		cfgs = append(cfgs, RunConfig{
 			Workload: wl, Class: workloads.Small,
 			Strategy: Fine,
 			PlanTx:   tx, PerDay: perDay, Seed: seed,
 			BenchFraction: frac,
 		})
-		if err != nil {
-			return nil, err
-		}
-		sum, err := res.Summarize(tx)
+	}
+	results, err := p.orDefault().RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	homeSum, err := results[0].Summarize(tx)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationBenchTrafficRow
+	for i, frac := range fracs {
+		sum, err := results[i+1].Summarize(tx)
 		if err != nil {
 			return nil, err
 		}

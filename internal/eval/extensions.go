@@ -68,41 +68,47 @@ type ExtGlobalRow struct {
 // ExtGlobal estimates the additional headroom global region sets unlock.
 // It compares solver-estimated plan carbon (normalized to the home plan)
 // because executing against far regions is dominated by the same model
-// terms; the NA numbers cross-check against Fig 7's measured runs.
-func ExtGlobal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtGlobalRow, error) {
+// terms; the NA numbers cross-check against Fig 7's measured runs. The
+// per-(workload, region set) learning runs execute concurrently on the
+// pool (nil uses a private default-width pool).
+func ExtGlobal(p *Pool, wls []*workloads.Workload, seed int64, perDay int) ([]ExtGlobalRow, error) {
 	if len(wls) == 0 {
 		wls = workloads.All()
 	}
 	if perDay == 0 {
 		perDay = 192
 	}
-	globalIDs := region.Global().IDs()
-	var rows []ExtGlobalRow
-	for _, wl := range wls {
-		row := ExtGlobalRow{Workload: wl.Name}
-		for i, regs := range [][]region.ID{region.EvaluationFour(), globalIDs} {
-			_, app, err := learnedApp(wl, regs, seed, perDay)
-			if err != nil {
-				return nil, fmt.Errorf("ext-global %s: %w", wl.Name, err)
-			}
-			now := EvalStart.Add(24 * time.Hour)
-			home := dag.NewHomePlan(wl.DAG, region.USEast1)
-			homeEst, err := app.Estimator.Estimate(home, now, now)
-			if err != nil {
-				return nil, err
-			}
-			res, err := app.Solver.SolveOne(now, now)
-			if err != nil {
-				return nil, err
-			}
-			norm := res.Estimate.CarbonMean / homeEst.CarbonMean
-			if i == 0 {
-				row.NANormalized = norm
-			} else {
-				row.GlobalNormalized = norm
-			}
+	regionSets := [][]region.ID{region.EvaluationFour(), region.Global().IDs()}
+	norms := make([]float64, len(wls)*len(regionSets))
+	err := p.orDefault().Do(len(norms), func(i int) error {
+		wl, regs := wls[i/len(regionSets)], regionSets[i%len(regionSets)]
+		_, app, err := learnedApp(wl, regs, seed, perDay)
+		if err != nil {
+			return fmt.Errorf("ext-global %s: %w", wl.Name, err)
 		}
-		rows = append(rows, row)
+		now := EvalStart.Add(24 * time.Hour)
+		home := dag.NewHomePlan(wl.DAG, region.USEast1)
+		homeEst, err := app.Estimator.Estimate(home, now, now)
+		if err != nil {
+			return err
+		}
+		res, err := app.Solver.SolveOne(now, now)
+		if err != nil {
+			return err
+		}
+		norms[i] = res.Estimate.CarbonMean / homeEst.CarbonMean
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ExtGlobalRow
+	for i, wl := range wls {
+		rows = append(rows, ExtGlobalRow{
+			Workload:         wl.Name,
+			NANormalized:     norms[i*len(regionSets)],
+			GlobalNormalized: norms[i*len(regionSets)+1],
+		})
 	}
 	return rows, nil
 }
@@ -141,18 +147,21 @@ type ExtTemporalRow struct {
 }
 
 // ExtTemporal quantifies §2.2's contrast on the same modeling substrate.
-func ExtTemporal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtTemporalRow, error) {
+// Workloads are scored concurrently on the pool (nil uses a private
+// default-width pool).
+func ExtTemporal(p *Pool, wls []*workloads.Workload, seed int64, perDay int) ([]ExtTemporalRow, error) {
 	if len(wls) == 0 {
 		wls = workloads.All()
 	}
 	if perDay == 0 {
 		perDay = 192
 	}
-	var rows []ExtTemporalRow
-	for _, wl := range wls {
+	rows := make([]ExtTemporalRow, len(wls))
+	err := p.orDefault().Do(len(wls), func(i int) error {
+		wl := wls[i]
 		_, app, err := learnedApp(wl, region.EvaluationFour(), seed, perDay)
 		if err != nil {
-			return nil, fmt.Errorf("ext-temporal %s: %w", wl.Name, err)
+			return fmt.Errorf("ext-temporal %s: %w", wl.Name, err)
 		}
 		now := EvalStart.Add(24 * time.Hour)
 		home := dag.NewHomePlan(wl.DAG, region.USEast1)
@@ -163,12 +172,12 @@ func ExtTemporal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtTempor
 			at := now.Add(time.Duration(h) * time.Hour)
 			he, err := app.Estimator.Estimate(home, at, now)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			homeByHour[h] = he.CarbonMean
 			res, err := app.Solver.SolveOne(at, now)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			solvedByHour[h] = res.Estimate.CarbonMean
 		}
@@ -181,12 +190,16 @@ func ExtTemporal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtTempor
 			gSum += solvedByHour[h]
 			cSum += bestSolved
 		}
-		rows = append(rows, ExtTemporalRow{
+		rows[i] = ExtTemporalRow{
 			Workload:   wl.Name,
 			Temporal:   tSum / base,
 			Geospatial: gSum / base,
 			Combined:   cSum / base,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -226,23 +239,26 @@ type ExtSignalRow struct {
 }
 
 // ExtSignal runs the sensitivity study the §7.1 discussion calls for.
-func ExtSignal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtSignalRow, error) {
+// Workloads are scored concurrently on the pool (nil uses a private
+// default-width pool).
+func ExtSignal(p *Pool, wls []*workloads.Workload, seed int64, perDay int) ([]ExtSignalRow, error) {
 	if len(wls) == 0 {
 		wls = []*workloads.Workload{workloads.Text2SpeechCensoring(), workloads.VideoAnalytics()}
 	}
 	if perDay == 0 {
 		perDay = 192
 	}
-	var rows []ExtSignalRow
-	for _, wl := range wls {
+	rows := make([]ExtSignalRow, len(wls))
+	err := p.orDefault().Do(len(wls), func(i int) error {
+		wl := wls[i]
 		env, app, err := learnedApp(wl, region.EvaluationFour(), seed, perDay)
 		if err != nil {
-			return nil, fmt.Errorf("ext-signal %s: %w", wl.Name, err)
+			return fmt.Errorf("ext-signal %s: %w", wl.Name, err)
 		}
 		now := EvalStart.Add(24 * time.Hour)
 		aciPlans, _, err := app.Solver.SolveHourly(now, now)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// A second app whose Metric Manager reads the MCI signal.
@@ -252,7 +268,7 @@ func ExtSignal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtSignalRo
 			Regions: region.EvaluationFour(),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		app2, err := env2.NewAppWithCarbon(core.AppConfig{
 			Workload: wl,
@@ -265,17 +281,17 @@ func ExtSignal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtSignalRo
 			Seed: seed,
 		}, mci)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gap := 24 * time.Hour / time.Duration(perDay)
 		app2.ScheduleUniform(EvalStart, perDay, gap, workloads.Small)
 		env2.RunUntil(EvalStart.Add(24 * time.Hour))
 		if err := app2.Metrics.RefreshForecasts(now); err != nil {
-			return nil, err
+			return err
 		}
 		mciPlans, _, err := app2.Solver.SolveHourly(now, now)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Divergence and re-accounting of MCI plans under ACI.
@@ -291,20 +307,24 @@ func ExtSignal(wls []*workloads.Workload, seed int64, perDay int) ([]ExtSignalRo
 			}
 			ae, err := app.Estimator.Estimate(aciPlans[at.Hour()], at, now)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			me, err := app.Estimator.Estimate(mciPlans[at.Hour()], at, now)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			aciSum += ae.CarbonMean
 			mciSum += me.CarbonMean
 		}
-		rows = append(rows, ExtSignalRow{
+		rows[i] = ExtSignalRow{
 			Workload:             wl.Name,
 			DivergentAssignments: float64(diverge) / float64(total),
 			MCIPlanACICarbon:     mciSum / aciSum,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -33,9 +33,14 @@ type Fig10Options struct {
 	Tolerances []float64
 	PerDay     int
 	Seed       int64
+	// Pool runs and memoizes the sweep's runs; nil uses a private
+	// default-width pool.
+	Pool *Pool
 }
 
-// Fig10 runs the tolerance sweep.
+// Fig10 runs the tolerance sweep. The coarse home baseline is
+// scenario-independent, so the memo collapses it to one execution per
+// workload.
 func Fig10(opt Fig10Options) ([]Fig10Point, error) {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = []*workloads.Workload{
@@ -49,7 +54,42 @@ func Fig10(opt Fig10Options) ([]Fig10Point, error) {
 	if len(opt.Tolerances) == 0 {
 		opt.Tolerances = []float64{0, 2.5, 5, 7.5, 10}
 	}
+	pool := opt.Pool.orDefault()
+
+	// Per (workload, scenario): the home baseline followed by one fine
+	// run per tolerance.
+	var cfgs []RunConfig
+	for _, wl := range opt.Workloads {
+		for _, sc := range scenarios() {
+			cfgs = append(cfgs, RunConfig{
+				Workload: wl, Class: opt.Class,
+				Strategy: CoarseIn("aws:us-east-1"),
+				EvalDays: 2,
+				PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
+			})
+			for _, tolPct := range opt.Tolerances {
+				// Two measured days: day one feeds remote observations
+				// (including cold-start tails) back into the model; day
+				// two is the reported steady state after the corrective
+				// re-solve.
+				cfgs = append(cfgs, RunConfig{
+					Workload: wl, Class: opt.Class,
+					Strategy:   Fine,
+					PlanTx:     sc.Tx,
+					Tolerances: &solver.Tolerances{Latency: solver.Tol(tolPct)},
+					EvalDays:   2,
+					PerDay:     opt.PerDay, Seed: opt.Seed,
+				})
+			}
+		}
+	}
+	results, err := pool.RunAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+
 	var points []Fig10Point
+	i := 0
 	for _, wl := range opt.Workloads {
 		for _, sc := range scenarios() {
 			// Home baseline (for carbon normalization and the QoS
@@ -57,36 +97,15 @@ func Fig10(opt Fig10Options) ([]Fig10Point, error) {
 			// the same final day as the fine runs so both sides see
 			// identical grid conditions.
 			lastDay := EvalStart.Add(2 * 24 * time.Hour)
-			home, err := Run(RunConfig{
-				Workload: wl, Class: opt.Class,
-				Strategy: CoarseIn("aws:us-east-1"),
-				EvalDays: 2,
-				PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s home: %w", wl.Name, err)
-			}
+			home := results[i]
+			i++
 			homeSum, err := home.SummarizeWindow(sc.Tx, lastDay, lastDay.Add(24*time.Hour))
 			if err != nil {
 				return nil, err
 			}
 			for _, tolPct := range opt.Tolerances {
-				tol := &solver.Tolerances{Latency: solver.Tol(tolPct)}
-				// Two measured days: day one feeds remote
-				// observations (including cold-start tails) back
-				// into the model; day two is the reported steady
-				// state after the corrective re-solve.
-				fine, err := Run(RunConfig{
-					Workload: wl, Class: opt.Class,
-					Strategy:   Fine,
-					PlanTx:     sc.Tx,
-					Tolerances: tol,
-					EvalDays:   2,
-					PerDay:     opt.PerDay, Seed: opt.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %s tol %.1f: %w", wl.Name, tolPct, err)
-				}
+				fine := results[i]
+				i++
 				fineSum, err := fine.SummarizeWindow(sc.Tx, lastDay, lastDay.Add(24*time.Hour))
 				if err != nil {
 					return nil, err

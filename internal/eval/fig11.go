@@ -50,6 +50,10 @@ type Fig11Options struct {
 	BinHrs  int
 	Seed    int64
 	PerDayP trace.Profile // optional full profile override
+	// Pool bounds the treatments' concurrency; nil uses a private
+	// default-width pool. Fig 11's bespoke trace-driven runs are not
+	// RunConfig-shaped, so they ride the pool's generic job lane.
+	Pool *Pool
 }
 
 // Fig11 runs the continuous evaluation for both transmission scenarios.
@@ -81,24 +85,44 @@ func Fig11(opt Fig11Options) ([]Fig11Result, error) {
 		return nil, err
 	}
 
-	// Coarse baselines are scenario-independent (fixed routing); run
-	// once each.
-	coarse := map[string]*fig11Out{}
-	for _, r := range []region.ID{region.USEast1, region.USWest1, region.USWest2} {
-		out, err := fig11Run(wl, events, start, end, opt.Seed, nil, r)
-		if err != nil {
-			return nil, fmt.Errorf("fig11 coarse %s: %w", r, err)
+	// All treatments run concurrently on the pool: the three coarse
+	// baselines (scenario-independent, run once each) plus one adaptive
+	// Caribou run per scenario. Each job owns an isolated Env; the trace
+	// events slice is shared read-only.
+	pool := opt.Pool.orDefault()
+	coarseRegions := []region.ID{region.USEast1, region.USWest1, region.USWest2}
+	scens := scenarios()
+	outs := make([]*fig11Out, len(coarseRegions)+len(scens))
+	err = pool.Do(len(outs), func(i int) error {
+		if i < len(coarseRegions) {
+			out, err := fig11Run(wl, events, start, end, opt.Seed, nil, coarseRegions[i])
+			if err != nil {
+				return fmt.Errorf("fig11 coarse %s: %w", coarseRegions[i], err)
+			}
+			outs[i] = out
+			return nil
 		}
-		coarse[string(r)[4:]] = out
+		sc := scens[i-len(coarseRegions)]
+		tx := sc.Tx
+		out, err := fig11Run(wl, events, start, end, opt.Seed, &tx, "")
+		if err != nil {
+			return fmt.Errorf("fig11 caribou %s: %w", sc.Name, err)
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	coarse := map[string]*fig11Out{}
+	for i, r := range coarseRegions {
+		coarse[string(r)[4:]] = outs[i]
 	}
 
 	var results []Fig11Result
-	for _, sc := range scenarios() {
+	for si, sc := range scens {
 		tx := sc.Tx
-		caribouOut, err := fig11Run(wl, events, start, end, opt.Seed, &tx, "")
-		if err != nil {
-			return nil, fmt.Errorf("fig11 caribou %s: %w", sc.Name, err)
-		}
+		caribouOut := outs[len(coarseRegions)+si]
 		res := Fig11Result{Scenario: sc.Name, SolveTimes: caribouOut.solves, Overhead: caribouOut.overhead}
 
 		for t := start; t.Before(end); t = t.Add(time.Duration(opt.BinHrs) * time.Hour) {

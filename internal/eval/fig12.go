@@ -32,9 +32,13 @@ type Fig12Options struct {
 	Classes     []workloads.InputClass
 	Invocations int
 	Seed        int64
+	// Pool bounds the measurements' concurrency; nil uses a private
+	// default-width pool. Fig 12's single-day orchestrator measurements
+	// are not RunConfig-shaped, so they ride the pool's generic job lane.
+	Pool *Pool
 }
 
-// Fig12 measures all mode/workload/class combinations.
+// Fig12 measures all mode/workload/class combinations concurrently.
 func Fig12(opt Fig12Options) ([]Fig12Row, error) {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = workloads.All()
@@ -49,20 +53,35 @@ func Fig12(opt Fig12Options) ([]Fig12Row, error) {
 		opt.Seed = 17
 	}
 	modes := []executor.Mode{executor.ModeStepFunctions, executor.ModePlainSNS, executor.ModeCaribou}
-	var rows []Fig12Row
+
+	type combo struct {
+		wl    *workloads.Workload
+		class workloads.InputClass
+		mode  executor.Mode
+	}
+	var combos []combo
 	for _, wl := range opt.Workloads {
 		for _, class := range opt.Classes {
 			for _, mode := range modes {
-				mean, p95, err := fig12Run(wl, class, mode, opt)
-				if err != nil {
-					return nil, fmt.Errorf("fig12 %s/%s/%s: %w", wl.Name, class, mode, err)
-				}
-				rows = append(rows, Fig12Row{
-					Workload: wl.Name, Class: class, Mode: mode.String(),
-					MeanSeconds: mean, P95Seconds: p95,
-				})
+				combos = append(combos, combo{wl, class, mode})
 			}
 		}
+	}
+	rows := make([]Fig12Row, len(combos))
+	err := opt.Pool.orDefault().Do(len(combos), func(i int) error {
+		c := combos[i]
+		mean, p95, err := fig12Run(c.wl, c.class, c.mode, opt)
+		if err != nil {
+			return fmt.Errorf("fig12 %s/%s/%s: %w", c.wl.Name, c.class, c.mode, err)
+		}
+		rows[i] = Fig12Row{
+			Workload: c.wl.Name, Class: c.class, Mode: c.mode.String(),
+			MeanSeconds: mean, P95Seconds: p95,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

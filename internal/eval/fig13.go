@@ -47,6 +47,10 @@ type Fig13Options struct {
 	PerDay      float64
 	Days        int
 	Seed        int64
+	// Pool bounds the sweep's concurrency; nil uses a private
+	// default-width pool. Fig 13a's fixed-period solve runs are not
+	// RunConfig-shaped, so they ride the pool's generic job lane.
+	Pool *Pool
 }
 
 // Fig13 runs both sub-figures. The workload is Text2Speech Censoring with
@@ -65,15 +69,20 @@ func Fig13(opt Fig13Options) ([]Fig13aRow, []Fig13bRow, error) {
 		opt.Seed = 17
 	}
 
-	var aRows []Fig13aRow
-	for _, freq := range opt.Frequencies {
-		for _, sc := range scenarios() {
-			row, err := fig13aRun(freq, sc.Name, sc.Tx, opt)
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig13a f=%d %s: %w", freq, sc.Name, err)
-			}
-			aRows = append(aRows, *row)
+	scens := scenarios()
+	aRows := make([]Fig13aRow, len(opt.Frequencies)*len(scens))
+	err := opt.Pool.orDefault().Do(len(aRows), func(i int) error {
+		freq := opt.Frequencies[i/len(scens)]
+		sc := scens[i%len(scens)]
+		row, err := fig13aRun(freq, sc.Name, sc.Tx, opt)
+		if err != nil {
+			return fmt.Errorf("fig13a f=%d %s: %w", freq, sc.Name, err)
 		}
+		aRows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 
 	bRows, err := fig13b(opt)
@@ -172,7 +181,7 @@ func fig13SolveCost(env *core.Env, now time.Time) float64 {
 // solving f times per week means plans rely on forecasts up to 7/f days
 // old.
 func fig13b(opt Fig13Options) ([]Fig13bRow, error) {
-	src, err := carbon.NewSyntheticSource(opt.Seed, EvalStart.Add(-8*24*time.Hour), EvalStart.Add(9*24*time.Hour))
+	src, err := carbon.SharedSource(opt.Seed, EvalStart.Add(-8*24*time.Hour), EvalStart.Add(9*24*time.Hour))
 	if err != nil {
 		return nil, err
 	}

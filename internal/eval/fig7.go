@@ -72,11 +72,17 @@ type Fig7Options struct {
 	Classes   []workloads.InputClass
 	PerDay    int
 	Seed      int64
+	// Pool runs and memoizes the experiment's runs; nil uses a private
+	// default-width pool.
+	Pool *Pool
 }
 
 // Fig7 runs the full geospatial-shifting comparison. The baseline of each
 // (workload, class, scenario) group is the coarse us-east-1 run accounted
-// under the same scenario.
+// under the same scenario. All runs of all groups execute concurrently on
+// the pool; coarse deployments do not depend on the planning scenario, so
+// each coarse strategy runs once per group and is re-accounted under both
+// transmission models.
 func Fig7(opt Fig7Options) ([]Fig7Row, error) {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = workloads.All()
@@ -84,56 +90,79 @@ func Fig7(opt Fig7Options) ([]Fig7Row, error) {
 	if len(opt.Classes) == 0 {
 		opt.Classes = workloads.Classes()
 	}
-	var rows []Fig7Row
+	pool := opt.Pool.orDefault()
+
+	type group struct {
+		wl    *workloads.Workload
+		class workloads.InputClass
+	}
+	var groups []group
 	for _, wl := range opt.Workloads {
 		for _, class := range opt.Classes {
-			group, err := fig7Group(wl, class, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s/%s: %w", wl.Name, class, err)
-			}
-			rows = append(rows, group...)
+			groups = append(groups, group{wl, class})
 		}
 	}
-	return rows, nil
-}
 
-func fig7Group(wl *workloads.Workload, class workloads.InputClass, opt Fig7Options) ([]Fig7Row, error) {
+	// One config per coarse strategy, one per (fine strategy, scenario);
+	// idx maps (group, strategy, scenario) to its config slot.
+	strats, scens := Fig7Strategies(), scenarios()
+	var cfgs []RunConfig
+	idx := map[[3]int]int{}
+	for gi, g := range groups {
+		for si, strat := range strats {
+			if strat.Coarse != "" {
+				idx[[3]int{gi, si, 0}] = len(cfgs)
+				cfgs = append(cfgs, RunConfig{
+					Workload: g.wl, Class: g.class,
+					Regions:  strat.Regions,
+					Strategy: Strategy{Coarse: strat.Coarse},
+					PerDay:   opt.PerDay, Seed: opt.Seed,
+				})
+				continue
+			}
+			for ci, sc := range scens {
+				idx[[3]int{gi, si, ci}] = len(cfgs)
+				cfgs = append(cfgs, RunConfig{
+					Workload: g.wl, Class: g.class,
+					Regions:  strat.Regions,
+					Strategy: Fine,
+					PlanTx:   sc.Tx,
+					PerDay:   opt.PerDay, Seed: opt.Seed,
+				})
+			}
+		}
+	}
+	results, err := pool.RunAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+
 	var rows []Fig7Row
-	baseline := map[string]float64{} // scenario -> grams
-
-	for _, strat := range Fig7Strategies() {
-		for _, sc := range scenarios() {
-			// Coarse deployments do not depend on the planning
-			// scenario; reuse one run for both accountings by
-			// keying the run on the planning model only for fine.
-			res, err := Run(RunConfig{
-				Workload: wl,
-				Class:    class,
-				Regions:  strat.Regions,
-				Strategy: Strategy{Coarse: strat.Coarse},
-				PlanTx:   sc.Tx,
-				PerDay:   opt.PerDay,
-				Seed:     opt.Seed,
-			})
-			if err != nil {
-				return nil, err
+	for gi, g := range groups {
+		baseline := map[string]float64{} // scenario -> grams
+		for si, strat := range strats {
+			for ci, sc := range scens {
+				res := results[idx[[3]int{gi, si, 0}]]
+				if strat.Coarse == "" {
+					res = results[idx[[3]int{gi, si, ci}]]
+				}
+				sum, err := res.Summarize(sc.Tx)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s/%s: %w", g.wl.Name, g.class, err)
+				}
+				if strat.Name == "coarse(us-east-1)" {
+					baseline[sc.Name] = sum.MeanCarbonG
+				}
+				base := baseline[sc.Name]
+				norm := 0.0
+				if base > 0 {
+					norm = sum.MeanCarbonG / base
+				}
+				rows = append(rows, Fig7Row{
+					Workload: g.wl.Name, Class: g.class, Strategy: strat.Name,
+					Scenario: sc.Name, Normalized: norm, AbsoluteGrams: sum.MeanCarbonG,
+				})
 			}
-			sum, err := res.Summarize(sc.Tx)
-			if err != nil {
-				return nil, err
-			}
-			if strat.Name == "coarse(us-east-1)" {
-				baseline[sc.Name] = sum.MeanCarbonG
-			}
-			base := baseline[sc.Name]
-			norm := 0.0
-			if base > 0 {
-				norm = sum.MeanCarbonG / base
-			}
-			rows = append(rows, Fig7Row{
-				Workload: wl.Name, Class: class, Strategy: strat.Name,
-				Scenario: sc.Name, Normalized: norm, AbsoluteGrams: sum.MeanCarbonG,
-			})
 		}
 	}
 	return rows, nil
@@ -159,8 +188,10 @@ func Fig7Geomeans(rows []Fig7Row) map[string]float64 {
 	return out
 }
 
-// PrintFig7 renders rows in the figure's grouping.
+// PrintFig7 renders rows in the figure's grouping. The caller's slice is
+// left untouched; sorting happens on a copy.
 func PrintFig7(w io.Writer, rows []Fig7Row) {
+	rows = append([]Fig7Row(nil), rows...)
 	sort.SliceStable(rows, func(i, j int) bool {
 		if rows[i].Workload != rows[j].Workload {
 			return rows[i].Workload < rows[j].Workload

@@ -29,9 +29,14 @@ type Fig8Options struct {
 	Classes   []workloads.InputClass
 	PerDay    int
 	Seed      int64
+	// Pool runs and memoizes the experiment's runs; nil uses a private
+	// default-width pool.
+	Pool *Pool
 }
 
 // Fig8 runs home and fine(all) per combination and derives the scatter.
+// The home deployment is coarse and scenario-independent, so the memo
+// collapses it to one execution per (workload, class).
 func Fig8(opt Fig8Options) ([]Fig8Point, error) {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = workloads.All()
@@ -39,18 +44,39 @@ func Fig8(opt Fig8Options) ([]Fig8Point, error) {
 	if len(opt.Classes) == 0 {
 		opt.Classes = workloads.Classes()
 	}
-	var points []Fig8Point
+	pool := opt.Pool.orDefault()
+
+	// Two configs per (workload, class, scenario): home then fine.
+	var cfgs []RunConfig
 	for _, wl := range opt.Workloads {
 		for _, class := range opt.Classes {
 			for _, sc := range scenarios() {
-				home, err := Run(RunConfig{
-					Workload: wl, Class: class,
-					Strategy: CoarseIn("aws:us-east-1"),
-					PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s/%s home: %w", wl.Name, class, err)
-				}
+				cfgs = append(cfgs,
+					RunConfig{
+						Workload: wl, Class: class,
+						Strategy: CoarseIn("aws:us-east-1"),
+						PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
+					},
+					RunConfig{
+						Workload: wl, Class: class,
+						Strategy: Fine,
+						PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
+					})
+			}
+		}
+	}
+	results, err := pool.RunAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+
+	var points []Fig8Point
+	i := 0
+	for _, wl := range opt.Workloads {
+		for _, class := range opt.Classes {
+			for _, sc := range scenarios() {
+				home, fine := results[i], results[i+1]
+				i += 2
 				// Ratio uses the uniform best-case factor so intra-region
 				// transfers are visible in the denominator even in the
 				// worst-case scenario (the paper computes the ratio from
@@ -62,14 +88,6 @@ func Fig8(opt Fig8Options) ([]Fig8Point, error) {
 				homeScen, err := home.Summarize(sc.Tx)
 				if err != nil {
 					return nil, err
-				}
-				fine, err := Run(RunConfig{
-					Workload: wl, Class: class,
-					Strategy: Fine,
-					PlanTx:   sc.Tx, PerDay: opt.PerDay, Seed: opt.Seed,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s/%s fine: %w", wl.Name, class, err)
 				}
 				fineSum, err := fine.Summarize(sc.Tx)
 				if err != nil {

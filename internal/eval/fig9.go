@@ -29,6 +29,9 @@ type Fig9Options struct {
 	Classes   []workloads.InputClass
 	PerDay    int
 	Seed      int64
+	// Pool runs and memoizes the sweep's runs; nil uses a private
+	// default-width pool.
+	Pool *Pool
 }
 
 // DefaultFig9Factors spans the figure's x-axis (kWh/GB).
@@ -56,32 +59,50 @@ func Fig9(opt Fig9Options) ([]Fig9Point, error) {
 		{"equal", carbon.Uniform},
 		{"free-intra", carbon.FreeIntra},
 	}
+	pool := opt.Pool.orDefault()
+
+	// Two configs per (model, class, factor, workload): home then fine.
+	// The home run is coarse, so the memo collapses the whole sweep's
+	// baselines to one execution per (workload, class).
+	var cfgs []RunConfig
+	for _, m := range models {
+		for _, class := range opt.Classes {
+			for _, f := range opt.Factors {
+				tx := m.mk(f)
+				for _, wl := range opt.Workloads {
+					cfgs = append(cfgs,
+						RunConfig{
+							Workload: wl, Class: class,
+							Strategy: CoarseIn("aws:us-east-1"),
+							PlanTx:   tx, PerDay: opt.PerDay, Seed: opt.Seed,
+						},
+						RunConfig{
+							Workload: wl, Class: class,
+							Strategy: Fine,
+							PlanTx:   tx, PerDay: opt.PerDay, Seed: opt.Seed,
+						})
+				}
+			}
+		}
+	}
+	results, err := pool.RunAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+
 	var points []Fig9Point
+	i := 0
 	for _, m := range models {
 		for _, class := range opt.Classes {
 			for _, f := range opt.Factors {
 				tx := m.mk(f)
 				var norms []float64
-				for _, wl := range opt.Workloads {
-					home, err := Run(RunConfig{
-						Workload: wl, Class: class,
-						Strategy: CoarseIn("aws:us-east-1"),
-						PlanTx:   tx, PerDay: opt.PerDay, Seed: opt.Seed,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("fig9 %s home: %w", wl.Name, err)
-					}
+				for range opt.Workloads {
+					home, fine := results[i], results[i+1]
+					i += 2
 					homeSum, err := home.Summarize(tx)
 					if err != nil {
 						return nil, err
-					}
-					fine, err := Run(RunConfig{
-						Workload: wl, Class: class,
-						Strategy: Fine,
-						PlanTx:   tx, PerDay: opt.PerDay, Seed: opt.Seed,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("fig9 %s fine: %w", wl.Name, err)
 					}
 					fineSum, err := fine.Summarize(tx)
 					if err != nil {

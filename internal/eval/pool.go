@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"caribou/internal/region"
+	"caribou/internal/solver"
+)
+
+// Pool is the evaluation harness's experiment runner: a bounded worker
+// pool with run memoization. Every run already owns an isolated Env, so
+// independent RunConfigs execute concurrently; results are returned in
+// submission order regardless of worker count, and each run's determinism
+// comes from its own seed, so figure output is bit-identical at any
+// Workers setting.
+//
+// Submissions are memoized by a canonical serialization of the defaulted
+// RunConfig: identical configurations — within one figure and across
+// figures sharing a Pool — execute exactly once, and callers re-account
+// the cached Result under whichever transmission model they need
+// (Result.Summarize is read-only, so a memoized Result can be summarized
+// any number of times).
+//
+// Jobs submitted through Run/RunAll/Do must not themselves submit to the
+// same Pool: worker slots are held for a job's full duration, so nested
+// submission can deadlock once all slots hold waiting parents.
+type Pool struct {
+	sem chan struct{}
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+
+	submitted int
+	executed  int
+	hits      int
+}
+
+// memoEntry singleflights one canonical configuration: concurrent
+// duplicate submissions block on the first execution and share its
+// Result.
+type memoEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// PoolStats counts pool activity. Hits is the number of submissions
+// served from the memo (including waits on an in-flight duplicate):
+// Submitted == Executed + Hits once all submissions have returned.
+type PoolStats struct {
+	Submitted int
+	Executed  int
+	Hits      int
+}
+
+// NewPool builds a runner executing at most workers runs concurrently;
+// workers <= 0 defaults to GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		sem:  make(chan struct{}, workers),
+		memo: make(map[string]*memoEntry),
+	}
+}
+
+// orDefault lets every driver accept a nil Pool (each then runs on its
+// own default-width pool).
+func (p *Pool) orDefault() *Pool {
+	if p != nil {
+		return p
+	}
+	return NewPool(0)
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Stats snapshots the activity counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Submitted: p.submitted, Executed: p.executed, Hits: p.hits}
+}
+
+// Run executes cfg through the pool and blocks until its Result is
+// available, either freshly executed on a worker slot or served from the
+// memo. Safe for concurrent use.
+func (p *Pool) Run(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	key := cfg.canonicalKey()
+
+	p.mu.Lock()
+	e, ok := p.memo[key]
+	if !ok {
+		e = &memoEntry{}
+		p.memo[key] = e
+	}
+	p.submitted++
+	if ok {
+		p.hits++
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		p.mu.Lock()
+		p.executed++
+		p.mu.Unlock()
+		e.res, e.err = Run(cfg)
+	})
+	return e.res, e.err
+}
+
+// RunAll executes all configurations concurrently (bounded by the worker
+// count) and returns results aligned with cfgs. On failure it reports the
+// first error in submission order — not completion order — so error
+// behavior is independent of scheduling.
+func (p *Pool) RunAll(cfgs []RunConfig) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = p.Run(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c := cfgs[i].withDefaults()
+			name := "<nil>"
+			if c.Workload != nil {
+				name = c.Workload.Name
+			}
+			return nil, fmt.Errorf("run %d (%s/%s %s): %w", i, name, c.Class, c.Strategy, err)
+		}
+	}
+	return results, nil
+}
+
+// Do runs n independent jobs concurrently on the pool's worker slots and
+// returns the first error in submission order. It is the escape hatch for
+// drivers whose experiments are not RunConfig-shaped (bespoke Env loops);
+// jobs index into caller-owned slices, which keeps assembly order
+// deterministic. Do jobs bypass the memo.
+func (p *Pool) Do(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.sem <- struct{}{}
+			defer func() { <-p.sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canonicalKey serializes a defaulted RunConfig into the memo key. Two
+// configurations with equal keys produce bit-identical Results:
+//
+//   - The workload is identified by name (workload definitions are static
+//     per name; bespoke workloads must use distinct names).
+//   - Region order is preserved — it seeds per-region derivations.
+//   - Coarse runs never consult the solver or estimator, so the planning
+//     inputs that only exist for fine runs (PlanTx, Tolerances,
+//     BenchFraction — forced to "none" for coarse) are excluded from
+//     coarse keys. This is what lets one coarse execution serve every
+//     transmission scenario and planning model that re-accounts it.
+func (c RunConfig) canonicalKey() string {
+	var b strings.Builder
+	name := "<nil>"
+	if c.Workload != nil {
+		name = c.Workload.Name
+	}
+	fmt.Fprintf(&b, "wl=%s|class=%s|regions=%s|home=%s|strategy=%s|perday=%d|warmup=%d|eval=%d|seed=%d",
+		name, c.Class, joinRegions(c.Regions), c.Home, c.Strategy, c.PerDay, c.WarmupDays, c.EvalDays, c.Seed)
+	if c.Strategy.Coarse == "" {
+		tol := solver.Tolerances{Latency: solver.Tol(25)}
+		if c.Tolerances != nil {
+			tol = *c.Tolerances
+		}
+		fmt.Fprintf(&b, "|plantx=%v/%v|tol=%s,%s,%s|bench=%v",
+			c.PlanTx.InterRegionKWhPerGB, c.PlanTx.IntraRegionKWhPerGB,
+			limitKey(tol.Latency), limitKey(tol.Cost), limitKey(tol.Carbon),
+			c.BenchFraction)
+	}
+	return b.String()
+}
+
+func limitKey(l solver.Limit) string {
+	if !l.Set {
+		return "-"
+	}
+	return fmt.Sprintf("%v", l.Pct)
+}
+
+func joinRegions(ids []region.ID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ",")
+}

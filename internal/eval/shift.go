@@ -73,10 +73,25 @@ type ExtShiftOptions struct {
 	PerDay   int
 	Seed     int64
 	Workload *workloads.Workload
+	// Pool bounds the experiment's concurrency; nil uses a private
+	// default-width pool. The shift experiment is a single continuous
+	// adaptive run (its days are causally chained through the learning
+	// loop), so it occupies one worker slot on the generic job lane.
+	Pool *Pool
 }
 
 // ExtShift runs the experiment and returns per-day rows.
 func ExtShift(opt ExtShiftOptions) ([]ExtShiftDay, error) {
+	var rows []ExtShiftDay
+	err := opt.Pool.orDefault().Do(1, func(int) error {
+		var err error
+		rows, err = extShiftRun(opt)
+		return err
+	})
+	return rows, err
+}
+
+func extShiftRun(opt ExtShiftOptions) ([]ExtShiftDay, error) {
 	if opt.Days == 0 {
 		opt.Days = 6
 	}

@@ -28,7 +28,7 @@ func TestExtensionsSmoke(t *testing.T) {
 	}
 	wls := []*workloads.Workload{workloads.Text2SpeechCensoring()}
 
-	global, err := ExtGlobal(wls, 3, 96)
+	global, err := ExtGlobal(nil, wls, 3, 96)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestExtensionsSmoke(t *testing.T) {
 		t.Errorf("global set should not be worse than NA: %+v", global[0])
 	}
 
-	temporal, err := ExtTemporal(wls, 3, 96)
+	temporal, err := ExtTemporal(nil, wls, 3, 96)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestExtensionsSmoke(t *testing.T) {
 		t.Errorf("both strategies should save carbon: %+v", tr)
 	}
 
-	signal, err := ExtSignal(wls, 3, 96)
+	signal, err := ExtSignal(nil, wls, 3, 96)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestAblationsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long integration experiment")
 	}
-	solverRows, err := AblationSolver(3, 96)
+	solverRows, err := AblationSolver(nil, 3, 96)
 	if err != nil {
 		t.Fatal(err)
 	}
