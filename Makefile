@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench verify
+.PHONY: all build test race vet bench verify eval-output
 
 all: build
 
@@ -13,11 +13,12 @@ test:
 # The solver, montecarlo, eval, and carbon packages fan work across
 # goroutines; run them under the race detector in addition to the plain
 # suite. The eval pass includes the worker-pool determinism tests
-# (bit-identical figures at Workers=1 vs Workers=8) and the shared
-# trace-cache concurrency tests.
+# (bit-identical figures at Workers=1 vs Workers=8), the telemetry
+# inertness tests (bit-identical figures with the recorder on vs off),
+# and the shared trace-cache concurrency tests.
 race:
-	$(GO) test -race ./internal/solver/... ./internal/montecarlo/...
-	$(GO) test -race -run 'TestPool|TestFig7|TestCoarse|TestRunAll|TestDo|TestSharedSource' ./internal/eval/... ./internal/carbon/...
+	$(GO) test -race ./internal/solver/... ./internal/montecarlo/... ./internal/telemetry/...
+	$(GO) test -race -run 'TestPool|TestFig7|TestCoarse|TestRunAll|TestDo|TestSharedSource|TestTelemetry' ./internal/eval/... ./internal/carbon/...
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +30,11 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
 # verify is the pre-merge gate: full build + full suite + race-checked
-# solver/montecarlo/eval-pool + vet.
+# solver/montecarlo/telemetry/eval-pool + vet.
 verify: build test race vet
 	@echo "verify: ok"
+
+# eval-output regenerates the quick-mode sample of every experiment. The
+# artifact is gitignored — regenerate locally instead of versioning it.
+eval-output:
+	$(GO) run ./cmd/caribou-eval -quick all > eval_output.txt

@@ -3,48 +3,138 @@
 //
 // Usage:
 //
-//	caribou-eval [-quick] [-seed N] [-workers N] <experiment>
+//	caribou-eval [-quick] [-seed N] [-workers N] [-trace FILE] [-telemetry] <experiment>
 //
 // where <experiment> is one of: fig2, table1, fig7, fig8, fig9, fig10,
 // fig11, fig12, fig13, table2, all. The -quick flag shrinks workload
 // counts and trace volumes for a fast sanity pass.
+//
+// Observability: -trace FILE dumps an NDJSON telemetry trace (spans,
+// events, instruments) and -telemetry prints a summary table to stderr;
+// both enable the telemetry recorder, which is otherwise off. Telemetry
+// is inert — figure output on stdout is bit-identical with it on or off.
+// -pprof ADDR serves net/http/pprof, and -cpuprofile/-memprofile write
+// runtime profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"caribou/internal/eval"
+	"caribou/internal/telemetry"
 	"caribou/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries main's body so deferred cleanup (profile flushes,
+// trace writes) runs before the process exits.
+func realMain() int {
 	quick := flag.Bool("quick", false, "reduced workload set and trace volume")
 	plot := flag.Bool("plot", false, "also render terminal charts of the figure shapes")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
 	seed := flag.Int64("seed", 17, "experiment seed")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
+	traceFile := flag.String("trace", "", "write an NDJSON telemetry trace to this file")
+	summary := flag.Bool("telemetry", false, "print a telemetry summary table to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	name := flag.Arg(0)
+
+	// Telemetry must be enabled before any component is constructed:
+	// instrument handles are captured at construction time.
+	if *traceFile != "" || *summary {
+		telemetry.Enable(telemetry.Options{})
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "caribou-eval: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-eval: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-eval: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	// One pool for the whole invocation: figures that share runs (e.g. the
 	// coarse home baselines) hit the memo instead of re-executing.
 	pool := eval.NewPool(*workers)
+	code := 0
 	if err := run(name, runOpts{quick: *quick, plot: *plot, csvDir: *csvDir, seed: *seed, pool: pool}); err != nil {
 		fmt.Fprintf(os.Stderr, "caribou-eval %s: %v\n", name, err)
-		os.Exit(1)
+		code = 1
 	}
-	// Stats go to stderr so stdout stays bit-comparable across -workers.
-	st := pool.Stats()
-	fmt.Fprintf(os.Stderr, "[pool: %d workers, %d submitted, %d executed, %d memo hits]\n",
-		pool.Workers(), st.Submitted, st.Executed, st.Hits)
+
+	// All diagnostics go to stderr or side files so stdout stays
+	// bit-comparable across -workers and telemetry settings.
+	if *summary {
+		telemetry.Default().WriteSummary(os.Stderr)
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-eval: %v\n", err)
+			code = 1
+		}
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-eval: %v\n", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// writeTrace dumps the flight recorder and instrument registry as NDJSON.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default().WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // quickPerDay shrinks learning-day traffic under -quick.
@@ -56,7 +146,7 @@ func quickPerDay(quick bool) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] [-workers N] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] [-workers N] [-trace FILE] [-telemetry] [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 
 experiments:
   fig2    grid carbon intensity of the four evaluation regions
@@ -110,7 +200,13 @@ func run(name string, opts runOpts) error {
 	quick, plot, seed, pool := opts.quick, opts.plot, opts.seed, opts.pool
 	w := os.Stdout
 	started := time.Now()
-	defer func() { fmt.Fprintf(w, "\n[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond)) }()
+	sp := telemetry.Default().StartSpan("eval/" + name)
+	defer sp.End()
+	// Wall time goes to stderr: stdout carries only the deterministic
+	// figure content, byte-identical at any -workers or telemetry setting.
+	defer func() {
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond))
+	}()
 
 	var quickWLs []*workloads.Workload
 	var quickClasses []workloads.InputClass

@@ -15,6 +15,7 @@ import (
 	"caribou/internal/executor"
 	"caribou/internal/platform"
 	"caribou/internal/region"
+	"caribou/internal/telemetry"
 )
 
 // storedPlans is the KV representation of an active plan set.
@@ -38,6 +39,27 @@ type Deployer struct {
 	failedRollouts int
 	pendingPlans   *dag.HourlyPlans // staged for retry after a failure
 	pendingExpiry  time.Time
+
+	tel deployerTelemetry
+}
+
+// deployerTelemetry holds instrument handles captured at construction;
+// nil-safe no-ops when telemetry is off. Deployment state transitions are
+// rare, so each also emits a flight-recorder event stamped with simclock
+// time.
+type deployerTelemetry struct {
+	rec      *telemetry.Recorder
+	rollouts *telemetry.Counter
+	failed   *telemetry.Counter
+}
+
+func newDeployerTelemetry() deployerTelemetry {
+	rec := telemetry.Default()
+	return deployerTelemetry{
+		rec:      rec,
+		rollouts: rec.Counter("deployer.rollouts"),
+		failed:   rec.Counter("deployer.rollouts_failed"),
+	}
 }
 
 // New returns a deployer for the engine's workflow.
@@ -46,6 +68,7 @@ func New(eng *executor.Engine, p *platform.Platform) *Deployer {
 		eng: eng,
 		p:   p,
 		key: "dp/" + eng.Workload().Name,
+		tel: newDeployerTelemetry(),
 	}
 }
 
@@ -66,18 +89,19 @@ func (d *Deployer) InitialDeploy() error {
 // Deployment Manager charges against the carbon budget.
 func (d *Deployer) Rollout(plans dag.HourlyPlans, expiry time.Time) (float64, error) {
 	d.rollouts++
+	d.tel.rollouts.Inc()
 	var moved float64
 	for _, plan := range plans {
 		for node, r := range plan {
 			if d.FailDeploy != nil && d.FailDeploy(node, r) {
-				d.failedRollouts++
+				d.noteRolloutFailure(node, r)
 				d.pendingPlans = &plans
 				d.pendingExpiry = expiry
 				return moved, fmt.Errorf("deployer: deployment of %s to %s failed; keeping previous plan active", node, r)
 			}
 			bytes, err := d.eng.EnsureDeployment(node, r)
 			if err != nil {
-				d.failedRollouts++
+				d.noteRolloutFailure(node, r)
 				d.pendingPlans = &plans
 				d.pendingExpiry = expiry
 				return moved, fmt.Errorf("deployer: %s to %s: %w", node, r, err)
@@ -91,7 +115,19 @@ func (d *Deployer) Rollout(plans dag.HourlyPlans, expiry time.Time) (float64, er
 	return moved, nil
 }
 
+func (d *Deployer) noteRolloutFailure(node dag.NodeID, r region.ID) {
+	d.failedRollouts++
+	d.tel.failed.Inc()
+	d.tel.rec.Event("deployer.rollout_failed", d.p.Scheduler().Now(),
+		telemetry.String("workflow", d.eng.Workload().Name),
+		telemetry.String("node", string(node)),
+		telemetry.String("region", string(r)))
+}
+
 func (d *Deployer) activate(plans dag.HourlyPlans, expiry time.Time) {
+	d.tel.rec.Event("deployer.activate", d.p.Scheduler().Now(),
+		telemetry.String("workflow", d.eng.Workload().Name),
+		telemetry.Time("expiry", expiry))
 	sp := &storedPlans{Expiry: expiry}
 	for h, plan := range plans {
 		m := make(map[dag.NodeID]region.ID, len(plan))
@@ -125,6 +161,8 @@ func (d *Deployer) HasPending() bool { return d.pendingPlans != nil }
 // (§5.2: when a token check is due, the pre-determined deployment is
 // expired).
 func (d *Deployer) Expire() {
+	d.tel.rec.Event("deployer.expire", d.p.Scheduler().Now(),
+		telemetry.String("workflow", d.eng.Workload().Name))
 	d.p.KV().Delete(d.key)
 	d.active = nil
 }

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"caribou/internal/region"
 	"caribou/internal/solver"
+	"caribou/internal/telemetry"
 )
 
 // Pool is the evaluation harness's experiment runner: a bounded worker
@@ -36,6 +38,31 @@ type Pool struct {
 	submitted int
 	executed  int
 	hits      int
+
+	tel poolTelemetry
+}
+
+// poolTelemetry holds instrument handles captured at NewPool; all fields
+// are nil-safe no-ops when telemetry is off. The counters shadow the
+// PoolStats fields (which drivers keep using programmatically) so pool
+// activity shows up in trace exports alongside the other layers.
+type poolTelemetry struct {
+	rec        *telemetry.Recorder
+	submitted  *telemetry.Counter
+	executed   *telemetry.Counter
+	memoHits   *telemetry.Counter
+	runSeconds *telemetry.Histogram
+}
+
+func newPoolTelemetry() poolTelemetry {
+	rec := telemetry.Default()
+	return poolTelemetry{
+		rec:        rec,
+		submitted:  rec.Counter("pool.submitted"),
+		executed:   rec.Counter("pool.executed"),
+		memoHits:   rec.Counter("pool.memo_hits"),
+		runSeconds: rec.Histogram("pool.run_seconds", []float64{0.5, 1, 2, 5, 10, 30, 60, 120}),
+	}
 }
 
 // memoEntry singleflights one canonical configuration: concurrent
@@ -65,6 +92,7 @@ func NewPool(workers int) *Pool {
 	return &Pool{
 		sem:  make(chan struct{}, workers),
 		memo: make(map[string]*memoEntry),
+		tel:  newPoolTelemetry(),
 	}
 }
 
@@ -101,8 +129,10 @@ func (p *Pool) Run(cfg RunConfig) (*Result, error) {
 		p.memo[key] = e
 	}
 	p.submitted++
+	p.tel.submitted.Inc()
 	if ok {
 		p.hits++
+		p.tel.memoHits.Inc()
 	}
 	p.mu.Unlock()
 
@@ -112,7 +142,24 @@ func (p *Pool) Run(cfg RunConfig) (*Result, error) {
 		p.mu.Lock()
 		p.executed++
 		p.mu.Unlock()
+		p.tel.executed.Inc()
+		name := "<nil>"
+		if cfg.Workload != nil {
+			name = cfg.Workload.Name
+		}
+		sp := p.tel.rec.StartSpan("pool.run",
+			telemetry.String("workload", name),
+			telemetry.String("class", string(cfg.Class)),
+			telemetry.String("strategy", cfg.Strategy.String()))
+		var start time.Time
+		if sp != nil {
+			start = time.Now()
+		}
 		e.res, e.err = Run(cfg)
+		if sp != nil {
+			p.tel.runSeconds.Observe(time.Since(start).Seconds())
+		}
+		sp.End()
 	})
 	return e.res, e.err
 }

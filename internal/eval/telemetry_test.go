@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"caribou/internal/telemetry"
+)
+
+// TestTelemetryInertFig7 pins the telemetry subsystem's core contract:
+// enabling the recorder must not change a single bit of figure output, at
+// any worker count. Telemetry only reads simulation state — it never
+// draws from RNG streams or perturbs scheduling — so the reduced Fig 7
+// rows must be deeply equal with the recorder on and off.
+func TestTelemetryInertFig7(t *testing.T) {
+	if telemetry.Enabled() {
+		t.Fatal("telemetry unexpectedly enabled at test entry")
+	}
+	for _, workers := range []int{1, 8} {
+		off, err := Fig7(fig7TestOptions(NewPool(workers)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		telemetry.Enable(telemetry.Options{})
+		on, err := Fig7(fig7TestOptions(NewPool(workers)))
+		telemetry.Disable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(off, on) {
+			t.Fatalf("workers=%d: rows differ with telemetry on vs off:\n%+v\nvs\n%+v", workers, off, on)
+		}
+	}
+}
+
+// TestTelemetryTraceCoversLayers checks the NDJSON export after a real
+// figure run: every line is valid JSON, and the trace carries records or
+// instruments from the platform, solver, and pool layers.
+func TestTelemetryTraceCoversLayers(t *testing.T) {
+	telemetry.Enable(telemetry.Options{})
+	defer telemetry.Disable()
+	if _, err := Fig7(fig7TestOptions(NewPool(2))); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.Default().WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	layers := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			Type string `json:"type"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if i := strings.IndexByte(rec.Name, '.'); i > 0 {
+			layers[rec.Name[:i]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, want := range []string{"platform", "solver", "montecarlo", "executor", "pool"} {
+		if !layers[want] {
+			t.Errorf("trace has no records or instruments from the %s layer (saw %v)", want, layers)
+		}
+	}
+}
+
+// TestPoolCountersMatchStats checks that the registry counters shadow the
+// programmatic PoolStats exactly.
+func TestPoolCountersMatchStats(t *testing.T) {
+	rec := telemetry.Enable(telemetry.Options{})
+	defer telemetry.Disable()
+	pool := NewPool(2)
+	if _, err := Fig7(fig7TestOptions(pool)); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	counters := map[string]int{
+		"pool.submitted": st.Submitted,
+		"pool.executed":  st.Executed,
+		"pool.memo_hits": st.Hits,
+	}
+	for name, want := range counters {
+		if got := rec.Counter(name).Value(); got != int64(want) {
+			t.Errorf("%s = %d, want %d (PoolStats %+v)", name, got, want, st)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"caribou/internal/pubsub"
 	"caribou/internal/region"
 	"caribou/internal/simclock"
+	"caribou/internal/telemetry"
 	"caribou/internal/workloads"
 )
 
@@ -108,6 +109,27 @@ type Engine struct {
 
 	nextID uint64
 	live   map[uint64]*invocation
+
+	tel executorTelemetry
+}
+
+// executorTelemetry holds the engine's instrument handles, captured at
+// construction; all fields are nil-safe no-ops when telemetry is off.
+type executorTelemetry struct {
+	invocations *telemetry.Counter
+	completed   *telemetry.Counter
+	failed      *telemetry.Counter
+	dropped     *telemetry.Counter
+}
+
+func newExecutorTelemetry() executorTelemetry {
+	rec := telemetry.Default()
+	return executorTelemetry{
+		invocations: rec.Counter("executor.invocations"),
+		completed:   rec.Counter("executor.completed"),
+		failed:      rec.Counter("executor.failed"),
+		dropped:     rec.Counter("executor.dropped_messages"),
+	}
 }
 
 // invocation tracks one in-flight workflow execution.
@@ -171,6 +193,7 @@ func New(opts Options) (*Engine, error) {
 		rng:     simclock.DeriveRand(opts.Seed, "executor/"+opts.Workload.Name),
 		done:    opts.OnComplete,
 		live:    make(map[uint64]*invocation),
+		tel:     newExecutorTelemetry(),
 	}
 	e.p.Broker().OnDrop(e.onDrop)
 	return e, nil
@@ -246,6 +269,7 @@ func (e *Engine) onDrop(msg pubsub.Message) {
 	}
 	// A lost invocation message means the stage never ran; the
 	// invocation completes unsuccessfully once nothing else is pending.
+	e.tel.dropped.Inc()
 	inv.rec.Succeeded = false
 	inv.pending--
 	e.maybeFinish(env.Inv, inv)
@@ -257,6 +281,10 @@ func (e *Engine) maybeFinish(id uint64, inv *invocation) {
 	}
 	inv.rec.End = inv.maxEnd
 	delete(e.live, id)
+	e.tel.completed.Inc()
+	if !inv.rec.Succeeded {
+		e.tel.failed.Inc()
+	}
 	if e.done != nil {
 		e.done(inv.rec)
 	}

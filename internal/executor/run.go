@@ -27,6 +27,7 @@ func (e *Engine) Invoke(class workloads.InputClass) (uint64, error) {
 	}
 	inv.rec.Succeeded = true
 	e.live[id] = inv
+	e.tel.invocations.Inc()
 
 	if e.mode == ModeStepFunctions {
 		return id, e.invokeStepFunctions(id, inv)
@@ -53,7 +54,7 @@ func (e *Engine) Invoke(class workloads.InputClass) (uint64, error) {
 	entryRegion := e.resolveRegion(inv, entry)
 	bytes := e.wl.EntryBytes[class] + controlMessageBytes
 	inv.rec.Services.SNSPublishes[e.home]++
-	inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+	e.logTransfer(inv, platform.TransferEvent{
 		Kind: platform.TransferEntry, From: e.home, To: entryRegion, ToNode: entry, Bytes: bytes, At: now.Add(offset),
 	})
 	inv.pending++
@@ -150,7 +151,7 @@ func (e *Engine) beginExecution(ref platform.FunctionRef, id uint64, node dag.No
 		// workflow's KV table at home (§4, Fig 5).
 		staged := inv.stagedBytes[node]
 		inv.rec.Services.KVReads[e.home]++
-		inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+		e.logTransfer(inv, platform.TransferEvent{
 			Kind: platform.TransferKVData, From: e.home, To: ref.Region, ToNode: node, Bytes: staged, At: now,
 		})
 		load, err := e.p.Net().TransferTime(e.home, ref.Region, staged)
@@ -229,9 +230,16 @@ func (e *Engine) writeOutput(inv *invocation, node dag.NodeID, src region.ID) {
 	if bytes <= 0 {
 		return
 	}
-	inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+	e.logTransfer(inv, platform.TransferEvent{
 		Kind: platform.TransferOutput, From: src, To: e.home, FromNode: node, Bytes: bytes, At: e.p.Scheduler().Now(),
 	})
+}
+
+// logTransfer appends ev to the invocation's record and counts it in the
+// platform's transfer instruments (ev.At carries the simclock stamp).
+func (e *Engine) logTransfer(inv *invocation, ev platform.TransferEvent) {
+	inv.rec.Transfers = append(inv.rec.Transfers, ev)
+	e.p.NoteTransfer(ev)
 }
 
 // sendDirect invokes a non-synchronization successor by publishing the
@@ -242,7 +250,7 @@ func (e *Engine) sendDirect(inv *invocation, id uint64, edge dag.Edge, src regio
 	bytes := e.wl.Bytes(edge.From, edge.To, inv.class) + controlMessageBytes
 	now := e.p.Scheduler().Now()
 	inv.rec.Services.SNSPublishes[src]++
-	inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+	e.logTransfer(inv, platform.TransferEvent{
 		Kind: platform.TransferPayload, From: src, To: succRegion, FromNode: edge.From, ToNode: edge.To, Bytes: bytes, At: now.Add(offset),
 	})
 	inv.pending++

@@ -14,7 +14,7 @@ import (
 func (e *Engine) invokeStepFunctions(id uint64, inv *invocation) error {
 	now := e.p.Scheduler().Now()
 	bytes := e.wl.EntryBytes[inv.class]
-	inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+	e.logTransfer(inv, platform.TransferEvent{
 		Kind: platform.TransferEntry, From: e.home, To: e.home, ToNode: e.wl.DAG.Start(), Bytes: bytes, At: now,
 	})
 	inv.pending++
@@ -86,7 +86,7 @@ func (e *Engine) sfFollow(inv *invocation, id uint64, edge dag.Edge) {
 	bytes := e.wl.Bytes(edge.From, edge.To, inv.class)
 	now := e.p.Scheduler().Now()
 	if bytes > 0 {
-		inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+		e.logTransfer(inv, platform.TransferEvent{
 			Kind: platform.TransferPayload, From: e.home, To: e.home, FromNode: edge.From, ToNode: edge.To, Bytes: bytes, At: now,
 		})
 	}

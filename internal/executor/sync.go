@@ -70,7 +70,7 @@ func (e *Engine) sendToSync(inv *invocation, id uint64, edge dag.Edge, src regio
 	// Stage intermediate data.
 	if bytes > 0 {
 		inv.rec.Services.KVWrites[e.home]++
-		inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+		e.logTransfer(inv, platform.TransferEvent{
 			Kind: platform.TransferKVData, From: src, To: e.home, FromNode: edge.From, ToNode: edge.To, Bytes: bytes, At: now.Add(offset),
 		})
 		store, err := e.p.Net().TransferTime(src, e.home, bytes)
@@ -101,7 +101,7 @@ func (e *Engine) invokeSync(inv *invocation, id uint64, node dag.NodeID, src reg
 	syncRegion := e.resolveRegion(inv, node)
 	now := e.p.Scheduler().Now()
 	inv.rec.Services.SNSPublishes[src]++
-	inv.rec.Transfers = append(inv.rec.Transfers, platform.TransferEvent{
+	e.logTransfer(inv, platform.TransferEvent{
 		Kind: platform.TransferControl, From: src, To: syncRegion, ToNode: node, Bytes: controlMessageBytes, At: now.Add(offset),
 	})
 	inv.pending++

@@ -20,6 +20,7 @@ import (
 	"caribou/internal/metrics"
 	"caribou/internal/region"
 	"caribou/internal/solver"
+	"caribou/internal/telemetry"
 )
 
 // Config tunes the control loop.
@@ -106,6 +107,25 @@ type Manager struct {
 	OverheadGrams float64
 	// OnSolve, when set, observes each completed solve.
 	OnSolve func(now time.Time, plans dag.HourlyPlans, results []solver.Result)
+
+	tel managerTelemetry
+}
+
+// managerTelemetry holds instrument handles captured at construction;
+// nil-safe no-ops when telemetry is off.
+type managerTelemetry struct {
+	rec        *telemetry.Recorder
+	solves     *telemetry.Counter
+	solveSkips *telemetry.Counter
+}
+
+func newManagerTelemetry() managerTelemetry {
+	rec := telemetry.Default()
+	return managerTelemetry{
+		rec:        rec,
+		solves:     rec.Counter("manager.solves"),
+		solveSkips: rec.Counter("manager.solve_skips"),
+	}
 }
 
 // New wires a manager. start seeds the first check time.
@@ -121,6 +141,7 @@ func New(cfg Config, mm *metrics.Manager, solv *solver.Solver, dep *deployer.Dep
 		lastCheck:       start,
 		nextCheck:       start.Add(cfg.MinCheckInterval),
 		stabilityFactor: 1,
+		tel:             newManagerTelemetry(),
 	}
 }
 
@@ -192,6 +213,7 @@ func (m *Manager) Tick(now time.Time) (bool, error) {
 		}
 	default:
 		m.solveSkips++
+		m.tel.solveSkips.Inc()
 	}
 
 	m.lastCheck = now
@@ -273,6 +295,10 @@ func (m *Manager) solveAndRollout(now time.Time, hourly bool, validity time.Dura
 		results = []solver.Result{res}
 	}
 	m.solves++
+	m.tel.solves.Inc()
+	m.tel.rec.Event("manager.solve", now,
+		telemetry.String("hourly", fmt.Sprintf("%t", hourly)),
+		telemetry.Float("tokens", m.tokens))
 	m.OverheadGrams += m.solveCost(now, hourly)
 	m.updateStability(plans)
 

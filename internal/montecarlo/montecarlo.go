@@ -21,6 +21,7 @@ import (
 	"caribou/internal/region"
 	"caribou/internal/simclock"
 	"caribou/internal/stats"
+	"caribou/internal/telemetry"
 )
 
 // Stopping rule constants from §7.1.
@@ -71,11 +72,29 @@ type Estimator struct {
 	in   Inputs
 	tx   carbon.TransmissionModel
 	seed int64
+	tel  mcTelemetry
+}
+
+// mcTelemetry holds the sampling counters, captured at construction
+// (Estimator.New or Compile); nil-safe no-ops when telemetry is off. The
+// counters are bumped once per Estimate call — never inside the sampling
+// loop — so the instrumented hot path is unchanged.
+type mcTelemetry struct {
+	estimates *telemetry.Counter
+	samples   *telemetry.Counter
+}
+
+func newMCTelemetry() mcTelemetry {
+	rec := telemetry.Default()
+	return mcTelemetry{
+		estimates: rec.Counter("montecarlo.estimates"),
+		samples:   rec.Counter("montecarlo.samples"),
+	}
 }
 
 // New returns an estimator using the given transmission-carbon model.
 func New(in Inputs, tx carbon.TransmissionModel, seed int64) *Estimator {
-	return &Estimator{in: in, tx: tx, seed: seed}
+	return &Estimator{in: in, tx: tx, seed: seed, tel: newMCTelemetry()}
 }
 
 // SetTransmissionModel swaps the transmission-carbon model (§9.3 sweeps).
@@ -115,6 +134,8 @@ func (e *Estimator) Estimate(plan dag.Plan, at, now time.Time) (*Estimate, error
 			break
 		}
 	}
+	e.tel.estimates.Inc()
+	e.tel.samples.Add(int64(acc.samples()))
 	return acc.summarize()
 }
 

@@ -74,6 +74,8 @@ type Snapshot struct {
 	msgOverhead float64
 
 	intensity [][]float64 // [hour][region]
+
+	tel mcTelemetry
 }
 
 // snapEdge is a compiled out-edge.
@@ -112,6 +114,7 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 		regionIdx:   make(map[region.ID]int, len(regions)+1),
 		hours:       append([]time.Time(nil), hours...),
 		msgOverhead: in.MessageOverheadSeconds(),
+		tel:         newMCTelemetry(),
 	}
 	for _, id := range regions {
 		if _, dup := s.regionIdx[id]; dup {
@@ -336,6 +339,8 @@ func (s *Snapshot) Estimate(assign []int, h int) (*Estimate, error) {
 			break
 		}
 	}
+	s.tel.estimates.Inc()
+	s.tel.samples.Add(int64(acc.samples()))
 	return acc.summarize()
 }
 

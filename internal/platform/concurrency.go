@@ -2,6 +2,7 @@ package platform
 
 import (
 	"caribou/internal/region"
+	"caribou/internal/telemetry"
 )
 
 // Per-region execution concurrency, modeling the account-level concurrent
@@ -40,12 +41,17 @@ func (p *Platform) AcquireExecutionSlot(r region.ID, fn func()) {
 		l.inUse++
 		if l.inUse > l.peak {
 			l.peak = l.inUse
+			p.tel.limiterPeak.Max(int64(l.peak))
 		}
 		fn()
 		return
 	}
 	l.queued++
 	l.waiting = append(l.waiting, fn)
+	p.tel.limiterQueued.Inc()
+	p.tel.rec.Event("platform.limiter.queued", p.sched.Now(),
+		telemetry.String("region", string(r)),
+		telemetry.Int("depth", int64(len(l.waiting))))
 }
 
 // ReleaseExecutionSlot returns a slot to the region and starts the oldest

@@ -1,0 +1,124 @@
+package platform
+
+import (
+	"testing"
+
+	"caribou/internal/netmodel"
+	"caribou/internal/region"
+	"caribou/internal/simclock"
+	"caribou/internal/telemetry"
+)
+
+func newLimitedPlatform(t *testing.T, capacity int) *Platform {
+	t.Helper()
+	sched := simclock.New(t0)
+	cat := region.NorthAmerica()
+	p, err := New(Options{Sched: sched, Catalogue: cat, Net: netmodel.New(cat), Seed: 1, RegionConcurrency: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLimiterSaturation drives a region past its concurrency cap and
+// checks the bookkeeping: peak saturates at the cap, every acquisition
+// beyond it counts as queued, and nothing queued runs until a slot frees.
+func TestLimiterSaturation(t *testing.T) {
+	const capacity = 2
+	p := newLimitedPlatform(t, capacity)
+	r := region.USEast1
+
+	started := 0
+	for i := 0; i < 5; i++ {
+		p.AcquireExecutionSlot(r, func() { started++ })
+	}
+	if started != capacity {
+		t.Errorf("started = %d, want %d (cap)", started, capacity)
+	}
+	peak, queued := p.ConcurrencyStats(r)
+	if peak != capacity {
+		t.Errorf("peak = %d, want %d", peak, capacity)
+	}
+	if queued != 3 {
+		t.Errorf("queued = %d, want 3", queued)
+	}
+
+	// Each release hands its slot to exactly one queued execution.
+	for i := 0; i < 3; i++ {
+		p.ReleaseExecutionSlot(r)
+		if want := capacity + 1 + i; started != want {
+			t.Errorf("after release %d: started = %d, want %d", i+1, started, want)
+		}
+	}
+	// Queue drained: further releases just free slots.
+	p.ReleaseExecutionSlot(r)
+	p.ReleaseExecutionSlot(r)
+	p.AcquireExecutionSlot(r, func() { started++ })
+	if started != 6 {
+		t.Errorf("post-drain acquire did not run immediately: started = %d", started)
+	}
+	if peak, _ := p.ConcurrencyStats(r); peak != capacity {
+		t.Errorf("peak moved to %d after drain, want %d", peak, capacity)
+	}
+}
+
+// TestLimiterFIFOWakeupOrder pins the queue discipline: executions
+// blocked on a saturated region start in submission order as slots free.
+func TestLimiterFIFOWakeupOrder(t *testing.T) {
+	p := newLimitedPlatform(t, 1)
+	r := region.USWest2
+
+	var order []int
+	p.AcquireExecutionSlot(r, func() {}) // holds the only slot
+	for i := 0; i < 4; i++ {
+		i := i
+		p.AcquireExecutionSlot(r, func() { order = append(order, i) })
+	}
+	if len(order) != 0 {
+		t.Fatalf("queued executions ran while saturated: %v", order)
+	}
+	for i := 0; i < 4; i++ {
+		p.ReleaseExecutionSlot(r)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("wakeup order = %v, want FIFO", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("only %d of 4 queued executions ran", len(order))
+	}
+}
+
+// TestLimiterTelemetryCounters checks the instrument view of saturation:
+// the peak gauge and queued counter mirror ConcurrencyStats, and each
+// queueing emits a flight-recorder event stamped with simulated time.
+func TestLimiterTelemetryCounters(t *testing.T) {
+	rec := telemetry.Enable(telemetry.Options{})
+	defer telemetry.Disable()
+	p := newLimitedPlatform(t, 1)
+	r := region.CACentral1
+
+	p.AcquireExecutionSlot(r, func() {})
+	p.AcquireExecutionSlot(r, func() {})
+	p.AcquireExecutionSlot(r, func() {})
+
+	if got := rec.Gauge("platform.limiter.peak").Value(); got != 1 {
+		t.Errorf("peak gauge = %d, want 1", got)
+	}
+	if got := rec.Counter("platform.limiter.queued").Value(); got != 2 {
+		t.Errorf("queued counter = %d, want 2", got)
+	}
+	events := 0
+	for _, rc := range rec.Records() {
+		if rc.Name == "platform.limiter.queued" {
+			events++
+			if rc.Attrs["sim"] == "" {
+				t.Error("queue event missing simulated-time stamp")
+			}
+		}
+	}
+	if events != 2 {
+		t.Errorf("flight recorder has %d queue events, want 2", events)
+	}
+}

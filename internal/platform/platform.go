@@ -18,6 +18,7 @@ import (
 	"caribou/internal/pubsub"
 	"caribou/internal/region"
 	"caribou/internal/simclock"
+	"caribou/internal/telemetry"
 
 	"caribou/internal/dag"
 )
@@ -90,6 +91,38 @@ type Platform struct {
 
 	regionConcurrency int
 	limiters          map[region.ID]*regionLimiter
+
+	tel platformTelemetry
+}
+
+// platformTelemetry holds the platform's instrument handles, captured
+// once at construction. Every field is nil-safe: with telemetry disabled
+// each observation is a single nil check.
+type platformTelemetry struct {
+	rec           *telemetry.Recorder
+	invocations   *telemetry.Counter
+	coldStarts    *telemetry.Counter
+	transfers     *telemetry.Counter
+	transferBytes *telemetry.Counter
+	publishes     *telemetry.Counter
+	imageCopies   *telemetry.Counter
+	limiterQueued *telemetry.Counter
+	limiterPeak   *telemetry.Gauge
+}
+
+func newPlatformTelemetry() platformTelemetry {
+	rec := telemetry.Default()
+	return platformTelemetry{
+		rec:           rec,
+		invocations:   rec.Counter("platform.invocations"),
+		coldStarts:    rec.Counter("platform.cold_starts"),
+		transfers:     rec.Counter("platform.transfers"),
+		transferBytes: rec.Counter("platform.transfer_bytes"),
+		publishes:     rec.Counter("platform.publishes"),
+		imageCopies:   rec.Counter("platform.image_copies"),
+		limiterQueued: rec.Counter("platform.limiter.queued"),
+		limiterPeak:   rec.Gauge("platform.limiter.peak"),
+	}
 }
 
 type deployment struct {
@@ -121,6 +154,7 @@ func New(opts Options) (*Platform, error) {
 		roles:             make(map[string]map[region.ID]bool),
 		regionConcurrency: conc,
 		limiters:          make(map[region.ID]*regionLimiter),
+		tel:               newPlatformTelemetry(),
 	}
 	p.broker = pubsub.NewBroker(opts.Sched, nil, opts.Pubsub, simclock.DeriveRand(opts.Seed, "platform/broker"))
 	return p, nil
@@ -191,6 +225,14 @@ func (p *Platform) CopyImage(workflow string, from, to region.ID) (time.Duration
 	if err := p.PushImage(workflow, bytes, to); err != nil {
 		return 0, 0, err
 	}
+	p.tel.imageCopies.Inc()
+	p.tel.transfers.Inc()
+	p.tel.transferBytes.Add(int64(bytes))
+	p.tel.rec.Event("platform.image_copy", p.sched.Now(),
+		telemetry.String("workflow", workflow),
+		telemetry.String("from", string(from)),
+		telemetry.String("to", string(to)),
+		telemetry.Float("bytes", bytes))
 	return d, bytes, nil
 }
 
@@ -273,6 +315,7 @@ func (p *Platform) ColdStartPenalty(ref FunctionRef, imageBytes float64) time.Du
 	if !ok {
 		return 0
 	}
+	p.tel.invocations.Inc()
 	now := p.sched.Now()
 	cold := !d.everUsed || now.Sub(d.lastUsed) > coldIdleThreshold
 	d.everUsed = true
@@ -280,6 +323,11 @@ func (p *Platform) ColdStartPenalty(ref FunctionRef, imageBytes float64) time.Du
 	if !cold {
 		return 0
 	}
+	p.tel.coldStarts.Inc()
+	p.tel.rec.Event("platform.cold_start", now,
+		telemetry.String("workflow", ref.Workflow),
+		telemetry.String("node", string(ref.Node)),
+		telemetry.String("region", string(ref.Region)))
 	penalty := coldStartBase + time.Duration(imageBytes/1e9*float64(coldStartPerGB))
 	// Mild deterministic jitter.
 	return time.Duration(float64(penalty) * p.rng.Uniform(0.85, 1.25))
@@ -299,5 +347,15 @@ func (p *Platform) MessageLatency(from, to region.ID, bytes float64) time.Durati
 
 // Publish sends data to topic with the given pre-computed latency.
 func (p *Platform) Publish(topic string, data []byte, latency time.Duration) error {
+	p.tel.publishes.Inc()
 	return p.broker.PublishAfter(topic, data, latency)
+}
+
+// NoteTransfer counts one logged data movement in the platform's
+// telemetry instruments. The executor calls it wherever it appends a
+// TransferEvent to an invocation record; ev.At already carries the
+// simulated-clock stamp.
+func (p *Platform) NoteTransfer(ev TransferEvent) {
+	p.tel.transfers.Inc()
+	p.tel.transferBytes.Add(int64(ev.Bytes))
 }

@@ -76,6 +76,7 @@ func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
 
 		// Previously seen plans are already memoized, so evaluating the
 		// whole round costs only its fresh plans.
+		s.tel.hbssBatches.Inc()
 		ests, err := c.evalAll(assigns, h)
 		if err != nil {
 			return denseResult{}, err

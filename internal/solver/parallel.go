@@ -116,6 +116,7 @@ func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error)
 		key    string
 	}
 	var jobs []job
+	hits := int64(0)
 	pending := map[string]bool{}
 	c.mu.Lock()
 	for i, a := range assigns {
@@ -123,6 +124,7 @@ func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error)
 		keys[i] = k
 		if est, ok := c.cache[memoKey{k, h}]; ok {
 			out[i] = est
+			hits++
 			continue
 		}
 		if !pending[k] {
@@ -131,6 +133,8 @@ func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error)
 		}
 	}
 	c.mu.Unlock()
+	c.s.tel.memoHits.Add(hits)
+	c.s.tel.estimates.Add(int64(len(jobs)))
 	if len(jobs) == 0 {
 		return out, nil
 	}

@@ -26,6 +26,7 @@ import (
 	"caribou/internal/dag"
 	"caribou/internal/montecarlo"
 	"caribou/internal/region"
+	"caribou/internal/telemetry"
 )
 
 // Priority is the developer's optimization objective (§8).
@@ -111,6 +112,31 @@ type Solver struct {
 	eligible map[dag.NodeID][]region.ID
 	maxIter  int
 	workers  int
+
+	tel solverTelemetry
+}
+
+// solverTelemetry holds instrument handles captured at construction; all
+// fields are nil-safe no-ops when telemetry is off. Counters are atomic,
+// so the parallel search increments them without extra locking — and they
+// never feed back into the search, preserving bit-identical results.
+type solverTelemetry struct {
+	rec         *telemetry.Recorder
+	solves      *telemetry.Counter
+	hbssBatches *telemetry.Counter
+	estimates   *telemetry.Counter
+	memoHits    *telemetry.Counter
+}
+
+func newSolverTelemetry() solverTelemetry {
+	rec := telemetry.Default()
+	return solverTelemetry{
+		rec:         rec,
+		solves:      rec.Counter("solver.solves"),
+		hbssBatches: rec.Counter("solver.hbss_batches"),
+		estimates:   rec.Counter("solver.estimates"),
+		memoHits:    rec.Counter("solver.memo_hits"),
+	}
 }
 
 // Result is one evaluated plan.
@@ -161,6 +187,7 @@ func New(cfg Config) (*Solver, error) {
 		eligible: make(map[dag.NodeID][]region.ID, d.Len()),
 		maxIter:  cfg.MaxIterations,
 		workers:  workers,
+		tel:      newSolverTelemetry(),
 	}
 	for _, n := range s.order {
 		node, _ := d.Node(n)
@@ -234,6 +261,11 @@ func (s *Solver) SolveOne(at, now time.Time) (Result, error) {
 // hourly solves share one compiled snapshot and one estimate memo and run
 // concurrently up to the configured worker bound.
 func (s *Solver) SolveHourly(dayStart, now time.Time) (dag.HourlyPlans, []Result, error) {
+	sp := s.tel.rec.StartSpan("solver.solve_hourly",
+		telemetry.Int("workers", int64(s.workers)),
+		telemetry.Int("stages", int64(len(s.order))))
+	defer sp.End()
+	s.tel.solves.Inc()
 	var plans dag.HourlyPlans
 	base := dayStart.UTC().Truncate(time.Hour)
 	hours := make([]time.Time, 24)

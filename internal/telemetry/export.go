@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteNDJSON dumps the flight recorder and the instrument registry as
+// newline-delimited JSON: one Record per retained span/event (oldest
+// first), then one object per counter ({"type":"counter",...}), gauge,
+// and histogram, and finally a {"type":"meta"} trailer with recorded and
+// dropped totals. Safe on a nil Recorder (writes nothing).
+func (r *Recorder) WriteNDJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	recs, total := r.ring.snapshot()
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	ctrs, gags, hists := r.snapshotInstruments()
+	for _, c := range ctrs {
+		if err := enc.Encode(map[string]interface{}{"type": "counter", "name": c.Name, "value": c.Value}); err != nil {
+			return err
+		}
+	}
+	for _, g := range gags {
+		if err := enc.Encode(map[string]interface{}{"type": "gauge", "name": g.Name, "value": g.Value}); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if err := enc.Encode(map[string]interface{}{
+			"type": "histogram", "name": h.Name, "bounds": h.Bounds, "counts": h.Counts, "count": h.N, "sum": h.Sum,
+		}); err != nil {
+			return err
+		}
+	}
+	dropped := total - uint64(len(recs))
+	if err := enc.Encode(map[string]interface{}{"type": "meta", "recorded": total, "retained": len(recs), "dropped": dropped}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteSummary renders the text summary table: per-span-name wall-time
+// aggregates (the per-phase timings of an eval run), every counter and
+// gauge, histogram bucket lines, and derived rates (pool memo-hit rate
+// when the pool counters are present). Safe on a nil Recorder (writes a
+// disabled notice).
+func (r *Recorder) WriteSummary(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "telemetry: disabled")
+		return
+	}
+	recs, total := r.ring.snapshot()
+
+	// Aggregate ended spans by name.
+	type agg struct {
+		name  string
+		count int64
+		total time.Duration
+	}
+	byName := map[string]*agg{}
+	for i := range recs {
+		if recs[i].Type != "span" {
+			continue
+		}
+		a, ok := byName[recs[i].Name]
+		if !ok {
+			a = &agg{name: recs[i].Name}
+			byName[recs[i].Name] = a
+		}
+		a.count++
+		a.total += time.Duration(recs[i].DurNS)
+	}
+	spans := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		spans = append(spans, a)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].name < spans[j].name })
+
+	fmt.Fprintf(w, "== telemetry summary ==\n")
+	if len(spans) > 0 {
+		fmt.Fprintf(w, "spans (wall time):\n")
+		for _, a := range spans {
+			fmt.Fprintf(w, "  %-40s %6d × %12v total\n", a.name, a.count, a.total.Round(time.Microsecond))
+		}
+	}
+
+	ctrs, gags, hists := r.snapshotInstruments()
+	if len(ctrs) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		for _, c := range ctrs {
+			fmt.Fprintf(w, "  %-40s %d\n", c.Name, c.Value)
+		}
+	}
+	if len(gags) > 0 {
+		fmt.Fprintf(w, "gauges:\n")
+		for _, g := range gags {
+			fmt.Fprintf(w, "  %-40s %d\n", g.Name, g.Value)
+		}
+	}
+	for _, h := range hists {
+		fmt.Fprintf(w, "histogram %s: n=%d sum=%.6g\n", h.Name, h.N, h.Sum)
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(w, "  <= %-12g %d\n", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(w, "  >  %-12g %d\n", h.Bounds[len(h.Bounds)-1], c)
+			}
+		}
+	}
+
+	// Derived rates.
+	if sub := counterValue(ctrs, "pool.submitted"); sub > 0 {
+		hits := counterValue(ctrs, "pool.memo_hits")
+		fmt.Fprintf(w, "derived:\n")
+		fmt.Fprintf(w, "  %-40s %.2f%%\n", "pool.memo_hit_rate", 100*float64(hits)/float64(sub))
+	}
+	dropped := total - uint64(len(recs))
+	fmt.Fprintf(w, "flight recorder: %d recorded, %d retained, %d dropped\n", total, len(recs), dropped)
+}
+
+func counterValue(ctrs []counterSnap, name string) int64 {
+	for _, c := range ctrs {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}

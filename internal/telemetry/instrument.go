@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The instrument registry: named counters, gauges, and fixed-bucket
+// histograms. Handles are interned — asking twice for the same name
+// returns the same instrument, so concurrently constructed components
+// (e.g. the Envs of a parallel figure sweep) aggregate into shared
+// counters. Handle lookup takes a mutex and happens at component
+// construction; the instruments themselves are lock-free atomics.
+
+type registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gags  map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+func newRegistry() registry {
+	return registry{
+		ctrs:  make(map[string]*Counter),
+		gags:  make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing atomic count. The nil *Counter is
+// the disabled instrument: Add/Inc on nil are single-branch no-ops.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Counter interns a counter by name; nil Recorder yields the nil
+// (disabled) counter.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	c, ok := r.reg.ctrs[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.reg.ctrs[name] = c
+	}
+	return c
+}
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter; zero on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic level (int64). The nil *Gauge is disabled.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Gauge interns a gauge by name; nil Recorder yields the nil gauge.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	g, ok := r.reg.gags[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.reg.gags[name] = g
+	}
+	return g
+}
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v exceeds the current value (CAS loop), so
+// concurrent observers keep a high-water mark. No-op on nil.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge; zero on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets: counts[i] tallies
+// values <= bounds[i], with one overflow bucket past the last bound. The
+// nil *Histogram is disabled.
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	sumF   float64Adder
+	n      atomic.Int64
+}
+
+// float64Adder accumulates float64s with a CAS loop over bit patterns.
+type float64Adder struct{ bits atomic.Uint64 }
+
+func (f *float64Adder) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *float64Adder) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram interns a histogram by name. bounds must be ascending; they
+// are fixed at first interning (later calls with different bounds get the
+// original instrument). nil Recorder yields the nil histogram.
+func (r *Recorder) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	h, ok := r.reg.hists[name]
+	if !ok {
+		h = &Histogram{
+			name:   name,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.reg.hists[name] = h
+	}
+	return h
+}
+
+// Observe adds one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sumF.add(v)
+}
+
+// Count reports total observations; zero on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// snapshot types for export.
+
+type counterSnap struct {
+	Name  string
+	Value int64
+}
+
+type gaugeSnap struct {
+	Name  string
+	Value int64
+}
+
+type histSnap struct {
+	Name   string
+	Bounds []float64
+	Counts []int64
+	N      int64
+	Sum    float64
+}
+
+func (r *Recorder) snapshotInstruments() (ctrs []counterSnap, gags []gaugeSnap, hists []histSnap) {
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	for name, c := range r.reg.ctrs {
+		ctrs = append(ctrs, counterSnap{name, c.v.Load()})
+	}
+	for name, g := range r.reg.gags {
+		gags = append(gags, gaugeSnap{name, g.v.Load()})
+	}
+	for name, h := range r.reg.hists {
+		s := histSnap{Name: name, Bounds: append([]float64(nil), h.bounds...), N: h.n.Load(), Sum: h.sumF.load()}
+		for i := range h.counts {
+			s.Counts = append(s.Counts, h.counts[i].Load())
+		}
+		hists = append(hists, s)
+	}
+	sort.Slice(ctrs, func(i, j int) bool { return ctrs[i].Name < ctrs[j].Name })
+	sort.Slice(gags, func(i, j int) bool { return gags[i].Name < gags[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	return ctrs, gags, hists
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
