@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench verify eval-output
+.PHONY: all build test race vet bench bench-json verify eval-output
 
 all: build
 
@@ -28,6 +28,16 @@ vet:
 # stable timings.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+# bench-json times the tracked solver/tape benchmarks and merges the
+# ns/op numbers into BENCH_PR4.json under $(LABEL) (see cmd/benchjson;
+# existing labels such as "baseline" are preserved). Run on an otherwise
+# idle machine for stable numbers.
+LABEL ?= after
+BENCHES = BenchmarkSolver24Hourly$$|BenchmarkSolver24HourlyUntaped$$|BenchmarkFig7Parallel$$|BenchmarkSnapshotEstimateTaped$$|BenchmarkSnapshotEstimateUntaped$$
+bench-json:
+	$(GO) test -run xxx -bench '$(BENCHES)' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json -label $(LABEL)
 
 # verify is the pre-merge gate: full build + full suite + race-checked
 # solver/montecarlo/telemetry/eval-pool + vet.

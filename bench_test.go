@@ -355,6 +355,80 @@ func BenchmarkSolver24Hourly(b *testing.B) {
 	}
 }
 
+// BenchmarkSolver24HourlyUntaped is the same daily plan generation with
+// sample tapes disabled: every plan evaluation re-draws its Monte Carlo
+// samples from scratch. The gap to BenchmarkSolver24Hourly is the
+// common-random-number speedup (results are bit-identical either way; see
+// the solver tape parity tests).
+func BenchmarkSolver24HourlyUntaped(b *testing.B) {
+	mm, est := benchInputs(b)
+	s, err := solver.New(solver.Config{
+		Inputs: mm, Estimator: est,
+		Objective: solver.Objective{
+			Priority:   solver.PriorityCarbon,
+			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+		},
+		Seed:             1,
+		UntapedEstimates: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSnapshotAssign compiles a 24-hour snapshot of the learned inputs
+// and returns it with the home assignment, for the estimate micro-pair.
+func benchSnapshotAssign(b *testing.B) (*montecarlo.Snapshot, []int) {
+	b.Helper()
+	_, est := benchInputs(b)
+	now := benchStart.Add(24 * time.Hour)
+	hours := make([]time.Time, 24)
+	for h := range hours {
+		hours[h] = now.Add(time.Duration(h) * time.Hour)
+	}
+	snap, err := est.Compile(nil, hours, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap, snap.HomeAssign()
+}
+
+// BenchmarkSnapshotEstimateTaped measures the steady-state cost of one
+// plan evaluation replaying an already-compiled sample tape; the warm-up
+// call pays the one-time tape compile so the loop times replay only.
+func BenchmarkSnapshotEstimateTaped(b *testing.B) {
+	snap, assign := benchSnapshotAssign(b)
+	if _, err := snap.Estimate(assign, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.Estimate(assign, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEstimateUntaped is the reference draw-per-sample
+// evaluation on the same snapshot — the per-estimate cost the tape
+// amortizes away.
+func BenchmarkSnapshotEstimateUntaped(b *testing.B) {
+	snap, assign := benchSnapshotAssign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.EstimateUntaped(assign, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolveHourlySerial pins the daily solve to one worker — the
 // baseline the parallel bench is compared against (the two must produce
 // identical plans; see the solver determinism tests).

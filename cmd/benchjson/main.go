@@ -1,0 +1,89 @@
+// Command benchjson merges `go test -bench` output from stdin into a
+// JSON file mapping benchmark name → ns/op under a top-level label, e.g.
+//
+//	go test -run '^$' -bench 'Solver24Hourly$' -benchtime 3x . \
+//	    | go run ./cmd/benchjson -out BENCH_PR4.json -label after
+//
+// Existing labels in the output file are preserved, so a "baseline"
+// section captured before a change survives later "after" runs. The
+// GOMAXPROCS suffix Go appends to benchmark names (e.g. "-8") is
+// stripped so results from different hosts share keys.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	out := flag.String("out", "BENCH.json", "JSON file to create or merge into")
+	label := flag.String("label", "after", "top-level key for this run's numbers")
+	flag.Parse()
+	if err := run(*out, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, label string) error {
+	results := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		results[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	all := map[string]map[string]float64{}
+	if prev, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(prev, &all); err != nil {
+			return fmt.Errorf("parse existing %s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if all[label] == nil {
+		all[label] = map[string]float64{}
+	}
+	for name, ns := range results {
+		all[label][name] = ns
+	}
+
+	buf, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s: %s = %.0f ns/op\n", label, name, results[name])
+	}
+	return nil
+}

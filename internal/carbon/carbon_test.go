@@ -177,6 +177,32 @@ func TestExecutionCarbonAppliesPUEAndIntensity(t *testing.T) {
 	}
 }
 
+// TestExecutionFactorsBitIdentical pins the hoisted-coefficient form to
+// the direct model: exact equality (not tolerance) across a grid that
+// covers the clamping edges, because the Monte Carlo tape replay relies
+// on the two computing the same float64 in the same operation order.
+func TestExecutionFactorsBitIdentical(t *testing.T) {
+	mems := []float64{-5, 0, 128, 1024, 1769, 10240}
+	utils := []float64{-0.5, 0, 0.3, 0.8, 1, 2}
+	durs := []float64{-1, 0, 1e-6, 0.37, 3, 3600, 1e5}
+	intensities := []float64{0, 35, 400, 1123.456}
+	for _, mem := range mems {
+		for _, util := range utils {
+			memKW, procKW := ExecutionFactors(mem, util)
+			for _, dur := range durs {
+				for _, in := range intensities {
+					want := ExecutionCarbon(in, mem, dur, util)
+					got := ExecutionCarbonFromFactors(in, memKW, procKW, dur)
+					if got != want {
+						t.Fatalf("mem=%v util=%v dur=%v in=%v: factored %v != direct %v",
+							mem, util, dur, in, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestExecutionClamping(t *testing.T) {
 	if ExecutionEnergyKWh(-5, 10, 0.5) != 0 {
 		t.Error("negative memory should clamp to zero energy")

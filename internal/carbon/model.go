@@ -53,6 +53,41 @@ func ExecutionCarbon(intensity, memMB, durationSec, cpuUtil float64) float64 {
 	return intensity * ExecutionEnergyKWh(memMB, durationSec, cpuUtil) * PUE
 }
 
+// ExecutionFactors returns the duration-independent coefficients of the
+// energy model: ExecutionEnergyKWh(mem, dur, util) computes exactly
+// memKW·hours + procKW·hours, and both coefficients are the literal
+// intermediate products of that evaluation, so a caller that fixes
+// (memMB, cpuUtil) — e.g. per workflow stage — can hoist them and
+// reproduce ExecutionCarbon bit for bit via ExecutionCarbonFromFactors.
+func ExecutionFactors(memMB, cpuUtil float64) (memKW, procKW float64) {
+	if memMB < 0 {
+		memMB = 0
+	}
+	if cpuUtil < 0 {
+		cpuUtil = 0
+	}
+	if cpuUtil > 1 {
+		cpuUtil = 1
+	}
+	memKW = MemPowerKWPerGB * (memMB / 1024)
+	nVCPU := memMB / MBPerVCPU
+	pVCPU := PMinKWPerVCPU + cpuUtil*(PMaxKWPerVCPU-PMinKWPerVCPU)
+	procKW = pVCPU * nVCPU
+	return memKW, procKW
+}
+
+// ExecutionCarbonFromFactors is ExecutionCarbon with the ExecutionFactors
+// coefficients pre-resolved: identical arithmetic in identical order, so
+// results are bit-identical to the unfactored call (pinned by
+// TestExecutionFactorsBitIdentical).
+func ExecutionCarbonFromFactors(intensity, memKW, procKW, durationSec float64) float64 {
+	if durationSec < 0 {
+		durationSec = 0
+	}
+	hours := durationSec / 3600
+	return intensity * (memKW*hours + procKW*hours) * PUE
+}
+
 // TransmissionModel parameterizes Eq 7.5 with separate inter- and
 // intra-region energy factors (kWh/GB). The paper brackets today's
 // uncertain network energy models with a best case (0.001 everywhere) and a

@@ -31,6 +31,12 @@ const (
 	TargetCV   = 0.05
 )
 
+// controlBytes is the fixed size of orchestration messages (invoke
+// notifications, annotations) added on top of payload bytes. Shared by
+// the Inputs path, the snapshot path, and the tape compiler so all three
+// model the same wire traffic.
+const controlBytes = 2e3
+
 // Inputs supplies the learned and external metrics the estimator samples
 // from; *metrics.Manager implements it.
 type Inputs interface {
@@ -82,13 +88,23 @@ type Estimator struct {
 type mcTelemetry struct {
 	estimates *telemetry.Counter
 	samples   *telemetry.Counter
+	// Tape accounting (tape.go): batches/samples compiled onto per-hour
+	// tapes, and samples evaluated by replay. tapeSamples counts drawing
+	// work done once per hour; tapeReplays counts evaluations served from
+	// it — their ratio is the common-random-number amortization factor.
+	tapeBatches *telemetry.Counter
+	tapeSamples *telemetry.Counter
+	tapeReplays *telemetry.Counter
 }
 
 func newMCTelemetry() mcTelemetry {
 	rec := telemetry.Default()
 	return mcTelemetry{
-		estimates: rec.Counter("montecarlo.estimates"),
-		samples:   rec.Counter("montecarlo.samples"),
+		estimates:   rec.Counter("montecarlo.estimates"),
+		samples:     rec.Counter("montecarlo.samples"),
+		tapeBatches: rec.Counter("montecarlo.tape_batches"),
+		tapeSamples: rec.Counter("montecarlo.tape_samples"),
+		tapeReplays: rec.Counter("montecarlo.tape_replays"),
 	}
 }
 
@@ -150,6 +166,15 @@ type seriesAcc struct {
 func (a *seriesAcc) samples() int { return len(a.lat) }
 
 func (a *seriesAcc) add(s sample) {
+	if a.lat == nil {
+		// Most estimates converge within the first batch; reserving it up
+		// front avoids regrowing five slices through the hot loop.
+		a.lat = make([]float64, 0, BatchSize)
+		a.cost = make([]float64, 0, BatchSize)
+		a.carb = make([]float64, 0, BatchSize)
+		a.execC = make([]float64, 0, BatchSize)
+		a.txC = make([]float64, 0, BatchSize)
+	}
 	a.lat = append(a.lat, s.latency)
 	a.cost = append(a.cost, s.cost)
 	a.carb = append(a.carb, s.execCarbon+s.txCarbon)
@@ -213,7 +238,6 @@ func (e *Estimator) sampleOnce(plan dag.Plan, intensity map[region.ID]float64, r
 	home := e.in.Home()
 	book := e.in.CostBook()
 	msgOverhead := e.in.MessageOverheadSeconds()
-	const controlBytes = 2e3
 	var s sample
 
 	txCarbon := func(from, to region.ID, bytes float64) {
@@ -338,21 +362,32 @@ func (e *Estimator) sampleOnce(plan dag.Plan, intensity map[region.ID]float64, r
 // propagateSkip marks the downstream effect of an untaken edge: non-sync
 // descendants are skipped; edges into sync nodes count as annotated
 // skipped, which here simply means they do not contribute to readiness.
+// The walk is iterative with an explicit stack in the recursive form's
+// DFS preorder — recursion depth on a long chain of conditional edges is
+// bounded only by the DAG size, so a pathological workflow could
+// otherwise exhaust the goroutine stack.
 func (e *Estimator) propagateSkip(edge dag.Edge, skipped map[dag.NodeID]bool, syncReached map[dag.NodeID]bool, syncReady map[dag.NodeID]float64, at float64) {
 	d := e.in.DAG()
-	if d.IsSync(edge.To) {
-		// Annotation time could delay firing when the skip arrives
-		// last; model by advancing readiness without marking reached.
-		if at > syncReady[edge.To] && syncReached[edge.To] {
-			syncReady[edge.To] = at
+	stack := make([]dag.Edge, 0, 16)
+	stack = append(stack, edge)
+	for len(stack) > 0 {
+		ed := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.IsSync(ed.To) {
+			// Annotation time could delay firing when the skip arrives
+			// last; model by advancing readiness without marking reached.
+			if at > syncReady[ed.To] && syncReached[ed.To] {
+				syncReady[ed.To] = at
+			}
+			continue
 		}
-		return
-	}
-	if skipped[edge.To] {
-		return
-	}
-	skipped[edge.To] = true
-	for _, out := range d.Out(edge.To) {
-		e.propagateSkip(out, skipped, syncReached, syncReady, at)
+		if skipped[ed.To] {
+			continue
+		}
+		skipped[ed.To] = true
+		out := d.Out(ed.To)
+		for i := len(out) - 1; i >= 0; i-- {
+			stack = append(stack, out[i])
+		}
 	}
 }

@@ -42,10 +42,25 @@ type Snapshot struct {
 
 	hours    []time.Time
 	hourUnix []int64
+	// hourSeed[h] is DeriveSeed(seed, "mc/<workflow>/<hourUnix>"),
+	// precomputed at compile so no Estimate formats a stream label in the
+	// hot loop.
+	hourSeed []int64
+
+	// tapes[h] is the hour's lazily compiled sample tape (tape.go); nil
+	// when tape replay is disabled and every Estimate takes the untaped
+	// reference path.
+	tapes []*hourTape
 
 	// Per node (dense index).
 	cpuUtil  []float64
 	memoryMB []float64
+	// execMemKW/execProcKW are the node's carbon.ExecutionFactors — the
+	// duration-independent coefficients of the energy model, hoisted so
+	// tape replay skips the clamps and divisions of ExecutionEnergyKWh
+	// while staying bit-identical to it.
+	execMemKW  []float64
+	execProcKW []float64
 	isSync   []bool
 	outEdges [][]snapEdge
 	output   [][]float64 // sorted terminal write-back samples; nil when unobserved
@@ -133,12 +148,19 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 	for _, t := range s.hours {
 		s.hourUnix = append(s.hourUnix, t.Unix())
 	}
+	s.hourSeed = make([]int64, len(s.hours))
+	for h, u := range s.hourUnix {
+		s.hourSeed[h] = simclock.DeriveSeed(seed, fmt.Sprintf("mc/%s/%d", s.name, u))
+	}
+	s.SetTapes(true)
 
 	n := s.nodes.Len()
 	startIdx, _ := s.nodes.Index(d.Start())
 	s.start = startIdx
 	s.cpuUtil = make([]float64, n)
 	s.memoryMB = make([]float64, n)
+	s.execMemKW = make([]float64, n)
+	s.execProcKW = make([]float64, n)
 	s.isSync = make([]bool, n)
 	s.outEdges = make([][]snapEdge, n)
 	s.output = make([][]float64, n)
@@ -148,6 +170,7 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 		id := s.nodes.Node(i)
 		s.cpuUtil[i] = in.CPUUtil(id)
 		s.memoryMB[i] = in.MemoryMB(id)
+		s.execMemKW[i], s.execProcKW[i] = carbon.ExecutionFactors(s.memoryMB[i], s.cpuUtil[i])
 		s.isSync[i] = d.IsSync(id)
 		if len(d.Out(id)) == 0 {
 			if ob := in.OutputBytes(id); ob != nil {
@@ -244,8 +267,30 @@ func (s *Snapshot) NumRegions() int { return s.nR }
 // HomeIndex returns the dense index of the home region.
 func (s *Snapshot) HomeIndex() int { return s.home }
 
-// Hours returns the solve instants the snapshot was compiled for.
+// Hours returns a copy of the solve instants the snapshot was compiled
+// for. Callers that only need the count should use NumHours, which does
+// not allocate.
 func (s *Snapshot) Hours() []time.Time { return append([]time.Time(nil), s.hours...) }
+
+// NumHours reports the number of compiled solve instants.
+func (s *Snapshot) NumHours() int { return len(s.hours) }
+
+// SetTapes enables or disables sample-tape replay (tape.go). Compile
+// enables tapes; disabling routes every Estimate through the untaped
+// reference path (the two are bit-identical — the toggle exists for
+// benchmarks and ablations). Not safe to call concurrently with Estimate:
+// flip it before sharing the snapshot.
+func (s *Snapshot) SetTapes(on bool) {
+	switch {
+	case on && s.tapes == nil:
+		s.tapes = make([]*hourTape, len(s.hours))
+		for i := range s.tapes {
+			s.tapes[i] = &hourTape{}
+		}
+	case !on:
+		s.tapes = nil
+	}
+}
 
 // HourTime returns the solve instant at hour index h.
 func (s *Snapshot) HourTime(h int) time.Time { return s.hours[h] }
@@ -311,20 +356,47 @@ func (s *Snapshot) Assign(plan dag.Plan) ([]int, error) {
 // Estimator.Estimate draw for draw — the RNG stream, the batched stopping
 // rule, and the sampled event sequence are identical — but the sampling
 // loop touches only the snapshot's baked slices, so estimates are pure
-// functions of (assign, h) and safe to compute concurrently.
+// functions of (assign, h) and safe to compute concurrently. With tapes
+// enabled (the default) the plan is replayed against the hour's compiled
+// sample tape; the result is bit-identical to the untaped path either
+// way.
 func (s *Snapshot) Estimate(assign []int, h int) (*Estimate, error) {
+	if err := s.checkArgs(assign, h); err != nil {
+		return nil, err
+	}
+	if s.tapes != nil {
+		return s.estimateTaped(assign, h)
+	}
+	return s.estimateUntaped(assign, h)
+}
+
+// EstimateUntaped evaluates a dense assignment through the reference
+// draw-per-sample path regardless of the tape setting. It is the parity
+// oracle the tape tests pin replay against.
+func (s *Snapshot) EstimateUntaped(assign []int, h int) (*Estimate, error) {
+	if err := s.checkArgs(assign, h); err != nil {
+		return nil, err
+	}
+	return s.estimateUntaped(assign, h)
+}
+
+func (s *Snapshot) checkArgs(assign []int, h int) error {
 	if len(assign) != s.nodes.Len() {
-		return nil, fmt.Errorf("montecarlo: assignment covers %d of %d stages", len(assign), s.nodes.Len())
+		return fmt.Errorf("montecarlo: assignment covers %d of %d stages", len(assign), s.nodes.Len())
 	}
 	if h < 0 || h >= len(s.hours) {
-		return nil, fmt.Errorf("montecarlo: hour index %d outside compiled window [0,%d)", h, len(s.hours))
+		return fmt.Errorf("montecarlo: hour index %d outside compiled window [0,%d)", h, len(s.hours))
 	}
 	for _, r := range assign {
 		if r < 0 || r >= s.nR {
-			return nil, fmt.Errorf("montecarlo: region index %d outside snapshot", r)
+			return fmt.Errorf("montecarlo: region index %d outside snapshot", r)
 		}
 	}
-	rng := simclock.DeriveRand(s.seed, fmt.Sprintf("mc/%s/%d", s.name, s.hourUnix[h]))
+	return nil
+}
+
+func (s *Snapshot) estimateUntaped(assign []int, h int) (*Estimate, error) {
+	rng := simclock.NewRand(s.hourSeed[h])
 	sc := newSnapScratch(s.nodes.Len())
 	var acc seriesAcc
 	for acc.samples() < MaxSamples {
@@ -363,6 +435,7 @@ type snapScratch struct {
 	finish      []float64
 	syncReady   []float64
 	syncStaged  []float64
+	skipStack   []snapEdge
 }
 
 func newSnapScratch(n int) *snapScratch {
@@ -394,7 +467,6 @@ func (sc *snapScratch) reset() {
 // exactly; only the data representation differs.
 func (s *Snapshot) sampleOnce(assign []int, inten []float64, rng *simclock.Rand, sc *snapScratch) (sample, error) {
 	sc.reset()
-	const controlBytes = 2e3
 	var smp sample
 	home := s.home
 
@@ -512,19 +584,30 @@ func (s *Snapshot) sampleOnce(assign []int, inten []float64, rng *simclock.Rand,
 	return smp, nil
 }
 
-// propagateSkip mirrors Estimator.propagateSkip on dense indices.
+// propagateSkip mirrors Estimator.propagateSkip on dense indices. It
+// walks the downstream closure iteratively with an explicit stack in the
+// same DFS preorder the recursive form visited — recursion depth on a
+// long chain of conditional edges is bounded only by the DAG size, so a
+// pathological workflow could otherwise exhaust the goroutine stack.
 func (s *Snapshot) propagateSkip(edge snapEdge, sc *snapScratch, at float64) {
-	if edge.toSync {
-		if at > sc.syncReady[edge.to] && sc.syncReached[edge.to] {
-			sc.syncReady[edge.to] = at
+	stack := append(sc.skipStack[:0], edge)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.toSync {
+			if at > sc.syncReady[e.to] && sc.syncReached[e.to] {
+				sc.syncReady[e.to] = at
+			}
+			continue
 		}
-		return
+		if sc.skipped[e.to] {
+			continue
+		}
+		sc.skipped[e.to] = true
+		out := s.outEdges[e.to]
+		for i := len(out) - 1; i >= 0; i-- {
+			stack = append(stack, out[i])
+		}
 	}
-	if sc.skipped[edge.to] {
-		return
-	}
-	sc.skipped[edge.to] = true
-	for _, out := range s.outEdges[edge.to] {
-		s.propagateSkip(out, sc, at)
-	}
+	sc.skipStack = stack[:0]
 }

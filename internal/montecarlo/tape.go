@@ -1,0 +1,428 @@
+package montecarlo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"caribou/internal/carbon"
+	"caribou/internal/simclock"
+	"caribou/internal/stats"
+)
+
+// Sample tapes: common-random-number compilation of the Monte Carlo hot
+// path.
+//
+// Snapshot.Estimate derives its RNG stream from (seed, workflow, hour)
+// only, and every uniform draw inside sampleOnce — entry bytes, the
+// conditional-edge coin flips, edge/output payload bytes, and the
+// exec-duration quantiles — is consumed in an order decided solely by
+// those draws, never by the plan under evaluation. The realized control
+// flow (which nodes execute, which edges are taken, which sync nodes
+// fire, where skips propagate) is therefore a pure function of (seed,
+// workflow, hour) too: a plan changes *where* a stage runs, not *what
+// the invocation does*.
+//
+// A tape exploits that: per hour it records, per sample, the resolved
+// skeleton — executed nodes in loop order, each with its pre-drawn
+// exec-duration quantile, per-edge outcomes with pre-drawn payload
+// bytes, pre-summed sync staging totals, and the ordered sync targets of
+// every skip propagation. Replaying a plan against the tape performs no
+// RNG calls, no stream derivation, no conditional-probability branching,
+// and no recursive skip walks — only the region-dependent lookups
+// (duration quantile resolution, transfer/egress coefficients,
+// intensity-weighted carbon) and the exact arithmetic of the reference
+// path, in the exact same order, so replayed estimates are bit-identical
+// to untaped ones by construction (pinned by the tape parity tests).
+//
+// Tapes are compiled lazily in BatchSize increments up to MaxSamples:
+// the first Estimate that needs samples [0,200) builds them, a later
+// plan that converges slower extends the tape, and the extension rule
+// means one tape per hour serves every candidate plan the solver
+// evaluates — HBSS rounds, exhaustive enumeration, and all hourly
+// solves amortize the drawing work that the untaped path repeats per
+// plan. Memory is bounded by MaxSamples × (nodes + edges) records per
+// hour.
+
+// tapeStep flags.
+const (
+	stepSync   uint8 = 1 << iota // step executes as a fired sync node
+	stepOutput                   // terminal step with a write-back draw
+)
+
+// tapeEdge kinds.
+const (
+	tapeEdgeSkip   uint8 = iota // conditional edge not taken: skip annotation
+	tapeEdgeStage               // taken edge into a sync node: KV staging
+	tapeEdgeDirect              // taken pub/sub edge
+)
+
+// tapeStep is one executed node of one recorded sample.
+type tapeStep struct {
+	node             int32
+	flags            uint8
+	u                float64 // pre-drawn exec-duration quantile
+	staged           float64 // sync steps: staged bytes, pre-summed in edge order
+	out              float64 // stepOutput steps: pre-drawn write-back bytes
+	edgeOff, edgeEnd int32   // [edgeOff,edgeEnd) into tapeData.edges
+}
+
+// tapeEdge is one out-edge outcome of an executed node.
+type tapeEdge struct {
+	to               int32
+	kind             uint8
+	bytes            float64 // pre-drawn payload (0 for unobserved edges)
+	skipOff, skipEnd int32   // tapeEdgeSkip: [skipOff,skipEnd) into skipSyncs
+}
+
+// tapeData is an immutable compiled prefix of one hour's sample stream.
+// Extensions append past every published header's length and publish a
+// new header, so a reader holding an old header only ever touches the
+// prefix that was complete when it loaded — no locking on the read side.
+type tapeData struct {
+	n         int       // samples compiled
+	entry     []float64 // per sample: entry payload incl. control bytes
+	stepOff   []int32   // len n+1: sample i occupies steps[stepOff[i]:stepOff[i+1]]
+	steps     []tapeStep
+	edges     []tapeEdge
+	skipSyncs []int32 // sync nodes advanced by skip propagations, in DFS order
+}
+
+// hourTape owns one hour's lazily extended tape. The mutex serializes
+// extensions (the RNG stream must advance sequentially); readers load the
+// latest immutable prefix through the atomic pointer.
+type hourTape struct {
+	mu   sync.Mutex
+	rng  *simclock.Rand // positioned after the last compiled sample
+	bld  *tapeBuilder
+	data atomic.Pointer[tapeData]
+}
+
+// ensure returns a tape prefix holding at least n samples (capped at
+// MaxSamples), compiling missing batches under the extension lock. The
+// fast path is a single atomic load.
+func (t *hourTape) ensure(s *Snapshot, h, n int) *tapeData {
+	if d := t.data.Load(); d != nil && d.n >= n {
+		return d
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data.Load()
+	if d == nil {
+		d = &tapeData{stepOff: []int32{0}}
+		t.rng = simclock.NewRand(s.hourSeed[h])
+		t.bld = newTapeBuilder(s.nodes.Len())
+	}
+	if d.n >= n {
+		return d
+	}
+	nd := &tapeData{}
+	*nd = *d // share the compiled prefix; appends only extend past it
+	for nd.n < n && nd.n < MaxSamples {
+		for i := 0; i < BatchSize; i++ {
+			s.compileSample(t.bld, t.rng, nd)
+		}
+		s.tel.tapeBatches.Inc()
+		s.tel.tapeSamples.Add(BatchSize)
+	}
+	t.data.Store(nd)
+	return nd
+}
+
+// tapeBuilder holds the plan-invariant scratch flags the compiler needs
+// to resolve one sample's control flow, reused across samples.
+type tapeBuilder struct {
+	executed    []bool
+	skipped     []bool
+	syncReached []bool
+	staged      []float64
+	stack       []snapEdge // explicit DFS stack for skip propagation
+}
+
+func newTapeBuilder(n int) *tapeBuilder {
+	return &tapeBuilder{
+		executed:    make([]bool, n),
+		skipped:     make([]bool, n),
+		syncReached: make([]bool, n),
+		staged:      make([]float64, n),
+	}
+}
+
+func (b *tapeBuilder) reset() {
+	for i := range b.executed {
+		b.executed[i] = false
+		b.skipped[i] = false
+		b.syncReached[i] = false
+		b.staged[i] = 0
+	}
+}
+
+// compileSample resolves one sample's skeleton, consuming RNG draws in
+// exactly the order of the reference sampleOnce, and appends the records
+// to nd. Only plan-invariant state is tracked; everything region-dependent
+// is deferred to replay.
+func (s *Snapshot) compileSample(b *tapeBuilder, rng *simclock.Rand, nd *tapeData) {
+	b.reset()
+	entryBytes := stats.SampleSorted(s.entryBytes, rng.Float64()) + controlBytes
+	entry := s.start
+	b.executed[entry] = true
+
+	for n := 0; n < len(b.executed); n++ {
+		if b.skipped[n] {
+			continue
+		}
+		var flags uint8
+		if s.isSync[n] {
+			if !b.syncReached[n] {
+				b.skipped[n] = true
+				continue
+			}
+			flags |= stepSync
+		} else if n != entry {
+			if !b.executed[n] {
+				continue
+			}
+		}
+
+		st := tapeStep{node: int32(n), flags: flags, staged: b.staged[n]}
+		st.u = rng.Float64()
+		st.edgeOff = int32(len(nd.edges))
+		out := s.outEdges[n]
+		if len(out) == 0 {
+			if ob := s.output[n]; ob != nil {
+				st.flags |= stepOutput
+				st.out = stats.SampleSorted(ob, rng.Float64())
+			}
+		} else {
+			for _, edge := range out {
+				taken := !edge.conditional || rng.Bool(edge.prob)
+				te := tapeEdge{to: int32(edge.to)}
+				if !taken {
+					te.kind = tapeEdgeSkip
+					te.skipOff = int32(len(nd.skipSyncs))
+					nd.skipSyncs = b.propagateSkip(s, edge, nd.skipSyncs)
+					te.skipEnd = int32(len(nd.skipSyncs))
+				} else {
+					if edge.bytes != nil {
+						te.bytes = stats.SampleSorted(edge.bytes, rng.Float64())
+					}
+					if edge.toSync {
+						te.kind = tapeEdgeStage
+						b.staged[edge.to] += te.bytes
+						b.syncReached[edge.to] = true
+					} else {
+						te.kind = tapeEdgeDirect
+						b.executed[edge.to] = true
+					}
+				}
+				nd.edges = append(nd.edges, te)
+			}
+		}
+		st.edgeEnd = int32(len(nd.edges))
+		nd.steps = append(nd.steps, st)
+	}
+
+	nd.entry = append(nd.entry, entryBytes)
+	nd.stepOff = append(nd.stepOff, int32(len(nd.steps)))
+	nd.n++
+}
+
+// propagateSkip walks the untaken edge's downstream closure iteratively
+// in the same DFS preorder as the recursive reference, marking skipped
+// nodes and recording — in visit order — each sync node that was already
+// reached at that moment (replay decides whether its readiness actually
+// advances, since that comparison is region-dependent).
+func (b *tapeBuilder) propagateSkip(s *Snapshot, edge snapEdge, syncs []int32) []int32 {
+	stack := append(b.stack[:0], edge)
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.toSync {
+			if b.syncReached[e.to] {
+				syncs = append(syncs, int32(e.to))
+			}
+			continue
+		}
+		if b.skipped[e.to] {
+			continue
+		}
+		b.skipped[e.to] = true
+		out := s.outEdges[e.to]
+		for i := len(out) - 1; i >= 0; i-- {
+			stack = append(stack, out[i])
+		}
+	}
+	b.stack = stack[:0]
+	return syncs
+}
+
+// replayScratch holds the region-dependent per-sample times. Epoch
+// stamping makes the per-sample reset O(1) instead of O(nodes): a slot
+// whose stamp is stale reads as the zero the reference path would see.
+type replayScratch struct {
+	epoch  uint32
+	start  []float64
+	startE []uint32
+	ready  []float64
+	readyE []uint32
+}
+
+func newReplayScratch(n int) *replayScratch {
+	return &replayScratch{
+		start:  make([]float64, n),
+		startE: make([]uint32, n),
+		ready:  make([]float64, n),
+		readyE: make([]uint32, n),
+	}
+}
+
+func (sc *replayScratch) getStart(i int) float64 {
+	if sc.startE[i] != sc.epoch {
+		return 0
+	}
+	return sc.start[i]
+}
+
+func (sc *replayScratch) setStart(i int, v float64) {
+	sc.start[i] = v
+	sc.startE[i] = sc.epoch
+}
+
+func (sc *replayScratch) getReady(i int) float64 {
+	if sc.readyE[i] != sc.epoch {
+		return 0
+	}
+	return sc.ready[i]
+}
+
+func (sc *replayScratch) setReady(i int, v float64) {
+	sc.ready[i] = v
+	sc.readyE[i] = sc.epoch
+}
+
+// estimateTaped mirrors estimateUntaped's batched stopping rule but
+// replays pre-compiled samples instead of drawing them, extending the
+// hour's shared tape only as far as this plan's convergence requires.
+func (s *Snapshot) estimateTaped(assign []int, h int) (*Estimate, error) {
+	t := s.tapes[h]
+	sc := newReplayScratch(s.nodes.Len())
+	inten := s.intensity[h]
+	var acc seriesAcc
+	for acc.samples() < MaxSamples {
+		need := acc.samples() + BatchSize
+		td := t.ensure(s, h, need)
+		for i := acc.samples(); i < need; i++ {
+			smp, err := s.replaySample(td, i, assign, inten, sc)
+			if err != nil {
+				return nil, err
+			}
+			acc.add(smp)
+		}
+		if acc.converged() {
+			break
+		}
+	}
+	s.tel.estimates.Inc()
+	s.tel.samples.Add(int64(acc.samples()))
+	s.tel.tapeReplays.Add(int64(acc.samples()))
+	return acc.summarize()
+}
+
+// replaySample evaluates recorded sample i under the dense assignment.
+// The arithmetic — every addition, comparison, and their order — matches
+// sampleOnce exactly; only the draws are read from the tape.
+func (s *Snapshot) replaySample(td *tapeData, i int, assign []int, inten []float64, sc *replayScratch) (sample, error) {
+	sc.epoch++
+	var smp sample
+	home := s.home
+	nR := s.nR
+
+	txCarbon := func(from, to int, bytes float64) {
+		smp.txCarbon += s.tx.Carbon(inten[from], inten[to], from == to, bytes)
+		if bytes > 0 {
+			smp.cost += bytes / 1e9 * s.egressPerGB[from*nR+to]
+		}
+	}
+	transfer := func(from, to int, bytes float64) float64 {
+		if bytes < 0 {
+			bytes = 0
+		}
+		return s.txBase[from*nR+to] + bytes*s.txPerByte[from*nR+to]
+	}
+
+	entry := s.start
+	entryRegion := assign[entry]
+	entryBytes := td.entry[i]
+	smp.cost += s.dynReadUSD
+	smp.cost += s.snsUSD[home]
+	txCarbon(home, entryRegion, entryBytes)
+	sc.setStart(entry, s.kvAccess[home]+s.msgOverhead+transfer(home, entryRegion, entryBytes))
+
+	for si := td.stepOff[i]; si < td.stepOff[i+1]; si++ {
+		st := &td.steps[si]
+		n := int(st.node)
+		r := assign[n]
+		var startN float64
+		if st.flags&stepSync != 0 {
+			staged := st.staged
+			smp.cost += s.snsUSD[home]
+			txCarbon(home, r, controlBytes)
+			arrive := sc.getReady(n) + s.msgOverhead + transfer(home, r, controlBytes)
+			load := s.kvAccess[r] + transfer(home, r, staged)
+			smp.cost += s.dynReadUSD
+			txCarbon(home, r, staged)
+			startN = arrive + load
+		} else {
+			startN = sc.getStart(n)
+		}
+
+		if err := s.execErr[n*nR+r]; err != nil {
+			return smp, err
+		}
+		dur := stats.SampleSorted(s.exec[n*nR+r], st.u)
+		mem := s.memoryMB[n]
+		finish := startN + dur
+		if finish > smp.latency {
+			smp.latency = finish
+		}
+		smp.execCarbon += carbon.ExecutionCarbonFromFactors(inten[r], s.execMemKW[n], s.execProcKW[n], dur)
+		if mem >= 0 && dur >= 0 {
+			smp.cost += mem/1024*dur*s.gbSecUSD[r] + s.reqUSD[r]
+		}
+
+		if st.flags&stepOutput != 0 {
+			txCarbon(r, home, st.out)
+			continue
+		}
+		for ei := st.edgeOff; ei < st.edgeEnd; ei++ {
+			e := &td.edges[ei]
+			to := int(e.to)
+			switch e.kind {
+			case tapeEdgeSkip:
+				for k := e.skipOff; k < e.skipEnd; k++ {
+					sn := int(td.skipSyncs[k])
+					if finish > sc.getReady(sn) {
+						sc.setReady(sn, finish)
+					}
+				}
+				smp.cost += s.dynWriteUSD // skip annotation
+			case tapeEdgeStage:
+				smp.cost += s.dynWriteUSD
+				smp.cost += s.dynWriteUSD
+				txCarbon(r, home, e.bytes)
+				ready := finish + transfer(r, home, e.bytes) + s.kvAccess[r]
+				if ready > sc.getReady(to) {
+					sc.setReady(to, ready)
+				}
+			case tapeEdgeDirect:
+				smp.cost += s.snsUSD[r]
+				total := e.bytes + controlBytes
+				txCarbon(r, assign[to], total)
+				arrive := finish + s.msgOverhead + transfer(r, assign[to], total)
+				if arrive > sc.getStart(to) {
+					sc.setStart(to, arrive)
+				}
+			}
+		}
+	}
+	return smp, nil
+}

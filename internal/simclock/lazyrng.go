@@ -1,0 +1,107 @@
+package simclock
+
+// lazySource is a drop-in replacement for math/rand's generator (the
+// additive lagged Fibonacci register of Mitchell & Reeds) producing the
+// bit-identical stream for every seed, but with O(draws) instead of
+// O(register) seeding cost.
+//
+// math/rand's Seed fills all 607 register entries eagerly, walking a
+// 31-bit LCG chain x[t+1] = 48271·x[t] mod 2³¹−1 for 1841 sequential
+// steps — ~20× more arithmetic than a consumer of a few draws ever reads
+// back out. The simulator derives a fresh stream per (seed, label) for
+// every HBSS iteration, so short-lived streams dominate: a proposal
+// consumes ~15 draws, touching ~30 register entries.
+//
+// lazySource exploits that entry i is a pure function of the seed:
+//
+//	vec[i] = x[21+3i]<<40 ^ x[22+3i]<<20 ^ x[23+3i] ^ lzCooked[i]
+//
+// and the LCG admits O(1) jump-ahead, x[t] = 48271^t·x[0] mod 2³¹−1,
+// with the powers precomputed once at package init. Seeding therefore
+// only records x[0] and clears a presence bitmap; entries materialize on
+// first read. Streams that do run long simply end up materializing (and
+// then mutating) the whole register, identical to the eager generator.
+const (
+	lzLen      = 607
+	lzTap      = 273
+	lzMask     = 1<<63 - 1
+	lzM        = 1<<31 - 1 // modulus of the seeding LCG (prime)
+	lzA        = 48271     // multiplier of the seeding LCG
+	lzChainLen = 21 + 3*lzLen
+)
+
+// lzPow[t] = lzA^t mod lzM.
+var lzPow [lzChainLen]uint64
+
+func init() {
+	p := uint64(1)
+	for t := range lzPow {
+		lzPow[t] = p
+		p = p * lzA % lzM
+	}
+}
+
+type lazySource struct {
+	x0   uint64 // normalized seed: start of the LCG seeding chain
+	tap  int
+	feed int
+	vec  [lzLen]int64
+	have [lzLen]bool
+}
+
+func newLazySource(seed int64) *lazySource {
+	s := &lazySource{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the stream. Same normalization as math/rand: reduce into
+// [1, 2³¹−1), mapping 0 to an arbitrary fixed nonzero value.
+func (s *lazySource) Seed(seed int64) {
+	seed %= lzM
+	if seed < 0 {
+		seed += lzM
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	s.x0 = uint64(seed)
+	s.tap = 0
+	s.feed = lzLen - lzTap
+	s.have = [lzLen]bool{}
+}
+
+// at returns the current value of register entry i, materializing it
+// from the seed chain on first access. All operands stay well under 64
+// bits: lzPow[t], x0 < 2³¹ and lzA < 2¹⁶.
+func (s *lazySource) at(i int) int64 {
+	if !s.have[i] {
+		x := lzPow[21+3*i] * s.x0 % lzM
+		u := int64(x) << 40
+		x = x * lzA % lzM
+		u ^= int64(x) << 20
+		x = x * lzA % lzM
+		u ^= int64(x)
+		s.vec[i] = u ^ lzCooked[i]
+		s.have[i] = true
+	}
+	return s.vec[i]
+}
+
+func (s *lazySource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += lzLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += lzLen
+	}
+	x := s.at(s.feed) + s.at(s.tap)
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+func (s *lazySource) Int63() int64 {
+	return int64(s.Uint64() & lzMask)
+}

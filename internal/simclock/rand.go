@@ -13,9 +13,12 @@ type Rand struct {
 	src *rand.Rand
 }
 
-// NewRand returns a stream seeded with seed.
+// NewRand returns a stream seeded with seed. The source is lazySource —
+// bit-identical to rand.NewSource(seed) for every seed (pinned by
+// TestLazySourceMatchesMathRand) but with O(draws) seeding cost, which
+// matters because hot paths derive thousands of short-lived streams.
 func NewRand(seed int64) *Rand {
-	return &Rand{src: rand.New(rand.NewSource(seed))}
+	return &Rand{src: rand.New(newLazySource(seed))}
 }
 
 // DeriveSeed returns the child seed DeriveRand would seed its stream with

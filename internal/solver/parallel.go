@@ -74,6 +74,11 @@ func (s *Solver) newSearch(hours []time.Time, now time.Time) (*search, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Tapes are per-snapshot, so one lazily compiled tape per hour is
+	// shared — read-only after each extension — by every estimate this
+	// search performs: HBSS rounds, exhaustive enumeration, the coarse
+	// baseline, and all hourly solves.
+	snap.SetTapes(!s.untaped)
 	elig := make([][]int, len(s.order))
 	for i, n := range s.order {
 		for _, rid := range s.eligible[n] {
@@ -211,7 +216,7 @@ func (c *search) solveHour(h int) (Result, error) {
 // hour's outcome is independent of the others, so the fan-out cannot
 // perturb results.
 func (c *search) solveAllHours() ([]Result, error) {
-	n := len(c.snap.Hours())
+	n := c.snap.NumHours()
 	results := make([]Result, n)
 	errs := make([]error, n)
 	if c.s.workers <= 1 {

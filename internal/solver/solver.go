@@ -96,6 +96,11 @@ type Config struct {
 	// order-independent estimate memoization make the search
 	// deterministic at any parallelism.
 	Workers int
+	// UntapedEstimates routes plan evaluations through the reference
+	// draw-per-sample path instead of replaying compiled sample tapes.
+	// Results are bit-identical either way (asserted by the tape parity
+	// tests); the switch exists for benchmarks and ablations.
+	UntapedEstimates bool
 }
 
 // Solver searches deployment plans.
@@ -112,6 +117,7 @@ type Solver struct {
 	eligible map[dag.NodeID][]region.ID
 	maxIter  int
 	workers  int
+	untaped  bool
 
 	tel solverTelemetry
 }
@@ -187,6 +193,7 @@ func New(cfg Config) (*Solver, error) {
 		eligible: make(map[dag.NodeID][]region.ID, d.Len()),
 		maxIter:  cfg.MaxIterations,
 		workers:  workers,
+		untaped:  cfg.UntapedEstimates,
 		tel:      newSolverTelemetry(),
 	}
 	for _, n := range s.order {

@@ -1,0 +1,86 @@
+package solver
+
+import (
+	"testing"
+
+	"caribou/internal/carbon"
+	"caribou/internal/dag"
+	"caribou/internal/montecarlo"
+)
+
+// diamondInputs builds s → {fast, slow} → join: the join is a
+// synchronization node, so this workload exercises staged-payload edges
+// and sync waits through the solver, unlike the linear chain. 4 stages ×
+// 4 regions = 256 plans keeps every hour on the exhaustive path.
+func diamondInputs(t *testing.T) *fakeInputs {
+	t.Helper()
+	d, err := dag.NewBuilder("diamond").
+		AddNode(dag.Node{ID: "s"}).
+		AddNode(dag.Node{ID: "fast"}).
+		AddNode(dag.Node{ID: "slow"}).
+		AddNode(dag.Node{ID: "join"}).
+		AddEdge("s", "fast").
+		AddEdge("s", "slow").
+		AddEdge("fast", "join").
+		AddEdge("slow", "join").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeInputs{
+		d:         d,
+		cat:       fourRegionCat(t),
+		durations: map[dag.NodeID]float64{"s": 1, "fast": 1, "slow": 4, "join": 1},
+		bytes: map[[2]dag.NodeID]float64{
+			{"s", "fast"}:    1e5,
+			{"s", "slow"}:    1e6,
+			{"fast", "join"}: 1e4,
+			{"slow", "join"}: 2e6,
+		},
+		intensity: defaultIntensity(),
+	}
+}
+
+// TestSolveTapedMatchesUntapedReference is the solver-level parity gate
+// for the sample tapes: for every priority and for both workload shapes
+// (HBSS-path chain, exhaustive-path diamond with a sync join), a solve
+// replaying compiled tapes with 8 workers must produce exactly the plans
+// and bit-identical estimates of a serial solve on the reference
+// draw-per-sample path.
+func TestSolveTapedMatchesUntapedReference(t *testing.T) {
+	workloads := []struct {
+		name string
+		in   *fakeInputs
+	}{
+		{"chain6", chainInputs(t, 6)},
+		{"diamond", diamondInputs(t)},
+	}
+	solve := func(t *testing.T, in *fakeInputs, p Priority, workers int, untaped bool) (dag.HourlyPlans, []Result) {
+		t.Helper()
+		s, err := New(Config{
+			Inputs:           in,
+			Estimator:        montecarlo.New(in, carbon.BestCase(), 42),
+			Objective:        Objective{Priority: p, Tolerances: Tolerances{Latency: Tol(50)}},
+			Seed:             42,
+			Workers:          workers,
+			UntapedEstimates: untaped,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, results, err := s.SolveHourly(t0, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plans, results
+	}
+	for _, w := range workloads {
+		for _, p := range []Priority{PriorityCarbon, PriorityCost, PriorityLatency} {
+			t.Run(w.name+"/"+p.String(), func(t *testing.T) {
+				tapedPlans, tapedRes := solve(t, w.in, p, 8, false)
+				refPlans, refRes := solve(t, w.in, p, 1, true)
+				assertIdenticalSolves(t, tapedPlans, refPlans, tapedRes, refRes)
+			})
+		}
+	}
+}

@@ -87,19 +87,84 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if p > 100 {
 		p = 100
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0], nil
+	work := append([]float64(nil), xs...)
+	if len(work) == 1 {
+		return work[0], nil
 	}
-	rank := p / 100 * float64(len(sorted)-1)
+	for _, v := range work {
+		if math.IsNaN(v) {
+			// Selection with < would misplace NaNs; keep the legacy
+			// total order (sort.Float64s places NaNs first) exactly.
+			sort.Float64s(work)
+			break
+		}
+	}
+	rank := p / 100 * float64(len(work)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
+	selectKth(work, lo)
 	if lo == hi {
-		return sorted[lo], nil
+		return work[lo], nil
+	}
+	// hi == lo+1, whose order statistic is the minimum of the partition
+	// right of lo after selection.
+	next := work[hi]
+	for _, v := range work[hi+1:] {
+		if v < next {
+			next = v
+		}
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return work[lo]*(1-frac) + next*frac, nil
+}
+
+// selectKth partially orders a in place so a[k] holds the k-th smallest
+// element, everything left of k is ≤ a[k], and everything right is
+// ≥ a[k]. Order statistics are exact values, so replacing the former
+// full sort changes no Percentile result — it only drops the O(n log n)
+// cost from the Monte Carlo summary hot path. Assumes no NaNs (callers
+// pre-sort in that case); pivoting is deterministic (median of three).
+func selectKth(a []float64, k int) {
+	lo, hi := 0, len(a)-1
+	for hi-lo > 8 {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // MAPE returns the mean absolute percentage error between forecasts and
