@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json verify eval-output
+.PHONY: all build test race vet lint bench bench-json verify eval-output
 
 all: build
 
@@ -20,8 +20,25 @@ race:
 	$(GO) test -race ./internal/solver/... ./internal/montecarlo/... ./internal/telemetry/...
 	$(GO) test -race -run 'TestPool|TestFig7|TestCoarse|TestRunAll|TestDo|TestSharedSource|TestTelemetry' ./internal/eval/... ./internal/carbon/...
 
+# vet runs with the same build tags as the build (none today; set
+# VET_TAGS if that changes) and pins GOFLAGS=-mod=mod so local runs and
+# CI agree even when a parent environment sets -mod=readonly or vendor.
+# CI runs the identical invocation (see .github/workflows/ci.yml).
+VET_TAGS ?=
 vet:
-	$(GO) vet ./...
+	GOFLAGS=-mod=mod $(GO) vet -tags '$(VET_TAGS)' ./...
+
+# lint runs the in-repo determinism & telemetry analyzer suite
+# (internal/analysis, driven by cmd/caribou-lint): wallclock (no
+# time.Now/Since/Sleep outside telemetry), globalrand (no math/rand
+# outside simclock), maporder (no observable output from unsorted map
+# iteration), hotsprintf (no Sprintf/concat in montecarlo/solver/stats
+# loops), goroutines (go statements only in the approved concurrency
+# packages). Suppress an individual finding with
+# //caribou:allow <check> <reason> — the reason is mandatory.
+# See DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/caribou-lint ./...
 
 # bench is a short smoke pass (one iteration per benchmark) so the whole
 # suite stays in CI budget; use `go test -bench . -benchtime Nx .` for
@@ -40,8 +57,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json -label $(LABEL)
 
 # verify is the pre-merge gate: full build + full suite + race-checked
-# solver/montecarlo/telemetry/eval-pool + vet.
-verify: build test race vet
+# solver/montecarlo/telemetry/eval-pool + vet + the determinism lint.
+verify: build test race vet lint
 	@echo "verify: ok"
 
 # eval-output regenerates the quick-mode sample of every experiment. The

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"caribou/internal/carbon"
@@ -327,6 +328,7 @@ func (a *App) regionsUsed() []string {
 	for r := range set {
 		out = append(out, r)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -62,6 +62,7 @@ func realMain() int {
 		telemetry.Enable(telemetry.Options{})
 	}
 	if *pprofAddr != "" {
+		//caribou:allow goroutines pprof server lives outside the simulation; it never touches deterministic state
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "caribou-eval: pprof server: %v\n", err)
@@ -199,13 +200,13 @@ func writeCSV(opts runOpts, name string, rows interface{}) error {
 func run(name string, opts runOpts) error {
 	quick, plot, seed, pool := opts.quick, opts.plot, opts.seed, opts.pool
 	w := os.Stdout
-	started := time.Now()
+	started := time.Now() //caribou:allow wallclock times the real experiment for the stderr completion line, not simulated time
 	sp := telemetry.Default().StartSpan("eval/" + name)
 	defer sp.End()
 	// Wall time goes to stderr: stdout carries only the deterministic
 	// figure content, byte-identical at any -workers or telemetry setting.
 	defer func() {
-		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(started).Round(time.Millisecond)) //caribou:allow wallclock times the real experiment for the stderr completion line, not simulated time
 	}()
 
 	var quickWLs []*workloads.Workload

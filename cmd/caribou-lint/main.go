@@ -1,0 +1,110 @@
+// Command caribou-lint runs the repo's determinism & telemetry analyzer
+// suite (internal/analysis) over the whole module and reports findings as
+//
+//	file:line: [check] message
+//
+// or, with -json, as a JSON array of {file, line, col, check, message}.
+// It exits 0 when clean, 1 on findings, 2 on load or usage errors.
+//
+// Usage:
+//
+//	caribou-lint [-json] [dir]
+//
+// dir defaults to the current directory; the nearest enclosing go.mod
+// determines the module. "./..." is accepted as an alias for "." so the
+// invocation reads like the other go tools. Suppress an individual
+// finding with a trailing (or immediately preceding) comment
+//
+//	//caribou:allow <check> <reason>
+//
+// where the reason is mandatory — an allow without one is itself a
+// finding. See DESIGN.md "Static analysis" for what each check enforces
+// and why.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"caribou/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: caribou-lint [-json] [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 1 {
+		flag.Usage()
+		return 2
+	}
+	dir := "."
+	if flag.NArg() == 1 && flag.Arg(0) != "./..." {
+		dir = flag.Arg(0)
+	}
+
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
+		return 2
+	}
+	diags := analysis.Lint(pkgs, analysis.Analyzers())
+
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:    relPath(root, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: [%s] %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Check, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "caribou-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relPath renders file relative to the module root when possible, so
+// diagnostics are stable across machines.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return file
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowCheck is the reserved name of the meta-check that validates the
+// suppression comments themselves.
+const allowCheck = "allow"
+
+// allowPrefix introduces a suppression comment:
+//
+//	//caribou:allow <check> <reason>
+//
+// A well-formed allow comment suppresses diagnostics for <check> on its
+// own line and on the line directly below it (so it works both as a
+// trailing comment and as a standalone comment above the flagged line).
+// The reason is mandatory and is what makes suppressions auditable: a
+// comment that names no check, names an unknown check, or carries no
+// reason is reported under the "allow" check and suppresses nothing.
+const allowPrefix = "//caribou:allow"
+
+// allowComment is one parsed, well-formed suppression.
+type allowComment struct {
+	file  string
+	line  int
+	check string
+}
+
+// collectAllows parses every //caribou:allow comment in the files,
+// returning the well-formed suppressions and a diagnostic for each
+// malformed one.
+func collectAllows(fset *token.FileSet, files []*ast.File, valid map[string]bool) ([]allowComment, []Diagnostic) {
+	var allows []allowComment
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: fset.Position(pos), Check: allowCheck, Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := c.Text[len(allowPrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //caribou:allowwallclock — not an allow comment.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					report(c.Pos(), "suppression names no check: want //caribou:allow <check> <reason>")
+				case !valid[fields[0]]:
+					report(c.Pos(), "suppression names unknown check "+quoted(fields[0]))
+				case len(fields) == 1:
+					report(c.Pos(), "suppression of "+quoted(fields[0])+" gives no reason: a reason is mandatory")
+				default:
+					pos := fset.Position(c.Pos())
+					allows = append(allows, allowComment{file: pos.Filename, line: pos.Line, check: fields[0]})
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+// suppressed reports whether d is covered by a well-formed allow comment
+// for its check on the same line or the line above.
+func suppressed(d Diagnostic, allows []allowComment) bool {
+	for _, a := range allows {
+		if a.check == d.Check && a.file == d.Pos.Filename &&
+			(a.line == d.Pos.Line || a.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,186 @@
+// Package analysis is the repo's in-tree static analyzer framework: a
+// small harness over the standard library's go/ast, go/parser, and
+// go/types (source importer — no x/tools dependency) that encodes the
+// determinism and telemetry invariants the dynamic parity tests assume.
+//
+// Every figure in this reproduction must be byte-identical across worker
+// counts, telemetry on/off, and taped vs untaped Monte Carlo paths. The
+// analyzers turn the rules that make that possible — simulated time only,
+// derived RNG streams only, no output from unsorted map iteration, no
+// formatting in sampling-loop hot paths, goroutines only where the
+// determinism audit expects them — into machine-checked diagnostics, so
+// the invariants survive refactoring instead of living in reviewers'
+// heads.
+//
+// A finding can be suppressed with a trailing or preceding comment
+//
+//	//caribou:allow <check> <reason>
+//
+// where the reason is mandatory: an allow comment without one is itself
+// a diagnostic (check "allow"). See cmd/caribou-lint for the driver and
+// DESIGN.md "Static analysis" for the rationale behind each check.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the check that fired, and a
+// human-readable message. The driver renders it as
+// "file:line: [check] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one analyzer one package. Reportf attaches the analyzer's
+// name to each diagnostic.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	PkgPath string
+	Pkg     *types.Package
+	Info    *types.Info
+
+	check string
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in a fixed order. The "allow" check
+// (malformed suppression comments) is implemented by Lint itself, not
+// listed here, but its name is reserved — see ValidChecks.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer,
+		GlobalRandAnalyzer,
+		MapOrderAnalyzer,
+		HotSprintfAnalyzer,
+		GoroutinesAnalyzer,
+	}
+}
+
+// ValidChecks returns the set of check names an //caribou:allow comment
+// may name: every analyzer plus the reserved "allow" meta-check.
+func ValidChecks(analyzers []*Analyzer) map[string]bool {
+	valid := map[string]bool{allowCheck: true}
+	for _, a := range analyzers {
+		valid[a.Name] = true
+	}
+	return valid
+}
+
+// Lint runs every analyzer over every package, applies //caribou:allow
+// suppressions, appends diagnostics for malformed allow comments, and
+// returns the surviving findings sorted by file, line, column, check.
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:    pkg.Fset,
+				Files:   pkg.Files,
+				PkgPath: pkg.Path,
+				Pkg:     pkg.Types,
+				Info:    pkg.Info,
+				check:   a.Name,
+				out:     &raw,
+			}
+			a.Run(pass)
+		}
+	}
+
+	valid := ValidChecks(analyzers)
+	var allows []allowComment
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		a, diags := collectAllows(pkg.Fset, pkg.Files, valid)
+		allows = append(allows, a...)
+		out = append(out, diags...)
+	}
+	for _, d := range raw {
+		if !suppressed(d, allows) {
+			out = append(out, d)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// pathIn reports whether pkgPath is path itself or a package under it.
+func pathIn(pkgPath, prefix string) bool {
+	return pkgPath == prefix || (len(pkgPath) > len(prefix) &&
+		pkgPath[:len(prefix)] == prefix && pkgPath[len(prefix)] == '/')
+}
+
+// pathInAny reports whether pkgPath sits in any of the prefixes.
+func pathInAny(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pathIn(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the package-level function it
+// invokes, or nil for method calls, conversions, and calls through
+// variables. Renamed imports resolve correctly because the lookup goes
+// through the type checker's Uses map, not the source text.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// isPkgFunc reports whether call invokes a package-level function from
+// pkgPath whose name is in names.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names map[string]bool) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && names[fn.Name()]
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/types"
+	"strconv"
+)
+
+// globalrandExempt lists packages that may touch math/rand directly:
+// simclock owns the seeded-stream discipline (DeriveRand/DeriveSeed) and
+// pins its lazySource against math/rand draw-for-draw.
+var globalrandExempt = []string{
+	"caribou/internal/simclock",
+}
+
+// randPkgs are the import paths the check covers.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// GlobalRandAnalyzer flags math/rand outside internal/simclock: both the
+// import itself and every call of a package-level function (Int, Intn,
+// Float64, Perm, Shuffle, Seed, New, NewSource, ...). The global
+// math/rand stream is process-wide mutable state — draws depend on
+// whatever ran before, so results stop being a function of the seed.
+// Every random stream must come from simclock.DeriveRand, which derives
+// an isolated generator from (seed, label).
+var GlobalRandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flag math/rand use outside internal/simclock; streams must come from simclock.DeriveRand",
+	Run: func(p *Pass) {
+		if pathInAny(p.PkgPath, globalrandExempt) {
+			return
+		}
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && randPkgs[path] {
+					p.Reportf(imp.Pos(), "import of %s outside internal/simclock: derive streams with simclock.DeriveRand(seed, label) instead", path)
+				}
+			}
+		}
+		for id, obj := range p.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				continue
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				continue // methods on an already-obtained *rand.Rand value
+			}
+			p.Reportf(id.Pos(), "call of %s.%s outside internal/simclock: the global stream is process-wide state; use simclock.DeriveRand(seed, label)", fn.Pkg().Name(), fn.Name())
+		}
+	},
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import "go/ast"
+
+// goroutinePkgs are the approved concurrency packages: the solver's
+// batch fan-out, the eval pool, platform's region-limited executor
+// machinery, pubsub delivery, and telemetry's recorder. Keeping `go`
+// statements inside this set keeps determinism audits tractable — every
+// other package is sequential by construction, so bit-identity proofs
+// only have to reason about these five.
+var goroutinePkgs = []string{
+	"caribou/internal/solver",
+	"caribou/internal/eval",
+	"caribou/internal/platform",
+	"caribou/internal/pubsub",
+	"caribou/internal/telemetry",
+}
+
+// GoroutinesAnalyzer flags `go` statements outside the approved
+// concurrency packages.
+var GoroutinesAnalyzer = &Analyzer{
+	Name: "goroutines",
+	Doc:  "restrict go statements to the approved concurrency packages (solver, eval, platform, pubsub, telemetry)",
+	Run: func(p *Pass) {
+		if pathInAny(p.PkgPath, goroutinePkgs) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Pos(), "go statement outside the approved concurrency packages (solver, eval, platform, pubsub, telemetry): new concurrency widens the determinism audit; route work through eval.Pool or annotate with a reason")
+				}
+				return true
+			})
+		}
+	},
+}

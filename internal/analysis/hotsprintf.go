@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotPkgs are the sampling/solving hot paths where per-iteration string
+// formatting is a measured cost (PR 4 hoisted these for a ~25% win on
+// the untaped estimate path).
+var hotPkgs = []string{
+	"caribou/internal/montecarlo",
+	"caribou/internal/solver",
+	"caribou/internal/stats",
+}
+
+// sprintFuncs are the fmt formatters that allocate per call. Errorf is
+// deliberately absent: error construction fires once and unwinds, so it
+// never sits on the per-iteration path.
+var sprintFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+}
+
+// HotSprintfAnalyzer flags fmt.Sprintf (and friends) plus non-constant
+// string concatenation inside any loop of the hot packages. Each call
+// re-parses the format string and allocates; inside the Monte Carlo
+// sampling loop or the solver's proposal loop that shows up directly in
+// the solve time. Hoist the formatting out of the loop (derive labels at
+// compile/setup time) or build bytes with strconv.Append* into a reused
+// buffer (fmt.Errorf is exempt: error paths fire once and unwind).
+var HotSprintfAnalyzer = &Analyzer{
+	Name: "hotsprintf",
+	Doc:  "flag fmt.Sprintf and string concatenation inside loops of montecarlo/solver/stats",
+	Run: func(p *Pass) {
+		if !pathInAny(p.PkgPath, hotPkgs) {
+			return
+		}
+		for _, f := range p.Files {
+			var loops []struct{ pos, end token.Pos }
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch l := n.(type) {
+				case *ast.ForStmt:
+					loops = append(loops, struct{ pos, end token.Pos }{l.Body.Pos(), l.Body.End()})
+				case *ast.RangeStmt:
+					loops = append(loops, struct{ pos, end token.Pos }{l.Body.Pos(), l.Body.End()})
+				}
+				return true
+			})
+			if len(loops) == 0 {
+				continue
+			}
+			inLoop := func(pos token.Pos) bool {
+				for _, l := range loops {
+					if pos >= l.pos && pos < l.end {
+						return true
+					}
+				}
+				return false
+			}
+
+			// flaggedEnd suppresses reports on the sub-expressions of an
+			// already-flagged concatenation chain (Inspect is preorder, so
+			// the outermost + of a chain is seen first).
+			var flaggedEnd token.Pos
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					if inLoop(e.Pos()) && isPkgFunc(p.Info, e, "fmt", sprintFuncs) {
+						fn := calleeFunc(p.Info, e)
+						p.Reportf(e.Pos(), "fmt.%s inside a loop in a hot package: hoist the formatting out of the loop or build bytes with strconv.Append*", fn.Name())
+					}
+				case *ast.BinaryExpr:
+					if e.Op != token.ADD || e.Pos() < flaggedEnd || !inLoop(e.Pos()) {
+						return true
+					}
+					tv, ok := p.Info.Types[e]
+					if !ok || tv.Value != nil { // constant folded: free
+						return true
+					}
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						flaggedEnd = e.End()
+						p.Reportf(e.Pos(), "string concatenation inside a loop in a hot package: allocates per iteration; hoist it or use strconv.Append* into a reused buffer")
+					}
+				case *ast.AssignStmt:
+					if e.Tok != token.ADD_ASSIGN || !inLoop(e.Pos()) {
+						return true
+					}
+					if t := p.Info.TypeOf(e.Lhs[0]); t != nil {
+						if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+							p.Reportf(e.Pos(), "string += inside a loop in a hot package: quadratic allocation; use strconv.Append* or strings.Builder outside the loop")
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}

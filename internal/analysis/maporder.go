@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fmtOutputFuncs are the fmt functions that emit bytes somewhere a
+// figure or log could observe them.
+var fmtOutputFuncs = map[string]bool{
+	"Print":    true,
+	"Printf":   true,
+	"Println":  true,
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+// sortPkgs are the packages whose calls count as "sorting the collected
+// slice" for the collect-then-sort idiom.
+var sortPkgs = map[string]bool{"sort": true, "slices": true}
+
+// MapOrderAnalyzer flags range statements over maps whose bodies leak
+// iteration order into observable output: appending to a slice that
+// outlives the loop (unless that slice is passed to sort/slices
+// afterwards in the same block — the sanctioned collect-then-sort
+// idiom), printing via fmt, sending on a channel, or accumulating into a
+// float or string (float addition is order-sensitive in the low bits;
+// string building obviously is). Go randomizes map iteration order per
+// run, so any of these makes output differ run to run — the exact hazard
+// PR 2 fixed by hand in PrintFig7. Order-insensitive bodies (map writes,
+// integer counting, min/max tracking via comparison) pass.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag observable output produced while ranging over a map; sort the keys first",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						mapOrderStmts(p, fn.Body.List)
+					}
+				case *ast.FuncLit:
+					mapOrderStmts(p, fn.Body.List)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// mapOrderStmts scans a statement list: every map range found at any
+// block nesting below it is analyzed with the statements that follow it
+// in its own list as the "afterwards" context for the collect-then-sort
+// idiom. Function literal bodies are not descended into here — the
+// enclosing Inspect visits each one on its own.
+func mapOrderStmts(p *Pass, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *ast.RangeStmt:
+			if isMapType(p.Info, st.X) {
+				checkMapRange(p, st, stmts[i+1:])
+			}
+			mapOrderStmts(p, st.Body.List)
+		case *ast.ForStmt:
+			mapOrderStmts(p, st.Body.List)
+		case *ast.IfStmt:
+			mapOrderStmts(p, st.Body.List)
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				mapOrderStmts(p, e.List)
+			case *ast.IfStmt:
+				mapOrderStmts(p, []ast.Stmt{e})
+			}
+		case *ast.BlockStmt:
+			mapOrderStmts(p, st.List)
+		case *ast.LabeledStmt:
+			mapOrderStmts(p, []ast.Stmt{st.Stmt})
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				mapOrderStmts(p, c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				mapOrderStmts(p, c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				mapOrderStmts(p, c.(*ast.CommClause).Body)
+			}
+		}
+	}
+}
+
+func isMapType(info *types.Info, x ast.Expr) bool {
+	t := info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports each order-leaking statement inside the body of
+// a map range. after holds the statements following the range in its
+// enclosing block, used to recognize collect-then-sort.
+func checkMapRange(p *Pass, rng *ast.RangeStmt, after []ast.Stmt) {
+	line := p.Fset.Position(rng.For).Line
+	outer := func(id *ast.Ident) types.Object {
+		obj := p.Info.Uses[id]
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()) {
+			return nil
+		}
+		return obj
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st != rng && isMapType(p.Info, st.X) {
+				return false // analyzed on its own; avoid double reports
+			}
+		case *ast.SendStmt:
+			p.Reportf(st.Arrow, "channel send inside range over map (line %d): receiver observes random iteration order; sort the keys first", line)
+		case *ast.CallExpr:
+			if isPkgFunc(p.Info, st, "fmt", fmtOutputFuncs) {
+				p.Reportf(st.Pos(), "fmt output inside range over map (line %d): lines appear in random iteration order; sort the keys first", line)
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, st, rng, after, line, outer)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, st *ast.AssignStmt, rng *ast.RangeStmt, after []ast.Stmt, line int, outer func(*ast.Ident) types.Object) {
+	switch st.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range st.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(st.Lhs) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, builtin := p.Info.Uses[id].(*types.Builtin); !builtin {
+				continue // a user function shadowing append
+			}
+			lhs, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := outer(lhs)
+			if obj == nil || sortedAfter(p, obj, after) {
+				continue
+			}
+			p.Reportf(st.Pos(), "append to %s inside range over map (line %d) fixes random iteration order into the slice; sort the keys first, or sort %s before use", lhs.Name, line, lhs.Name)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := outer(lhs)
+		if obj == nil {
+			return
+		}
+		basic, ok := obj.Type().Underlying().(*types.Basic)
+		if !ok {
+			return
+		}
+		switch {
+		case basic.Info()&types.IsFloat != 0:
+			p.Reportf(st.Pos(), "floating-point accumulation into %s inside range over map (line %d): float addition is order-sensitive in the low bits; sort the keys first", lhs.Name, line)
+		case basic.Info()&types.IsString != 0 && st.Tok == token.ADD_ASSIGN:
+			p.Reportf(st.Pos(), "string accumulation into %s inside range over map (line %d) fixes random iteration order into the string; sort the keys first", lhs.Name, line)
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices call in
+// the statements following the range — the collect-then-sort idiom.
+func sortedAfter(p *Pass, obj types.Object, after []ast.Stmt) bool {
+	found := false
+	for _, s := range after {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || !sortPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

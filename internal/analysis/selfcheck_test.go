@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoIsLintClean is the self-check: the whole module must carry
+// zero unsuppressed findings, so `make lint` (and CI) stays green and a
+// regression in either the code or the analyzers shows up in the plain
+// test suite. Every suppression in the tree carries a reason by
+// construction — a reasonless //caribou:allow is itself a finding.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Lint(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("caribou-lint reports %d finding(s) on the repo; fix them or annotate with //caribou:allow <check> <reason>", len(diags))
+	}
+}

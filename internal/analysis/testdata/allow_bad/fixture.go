@@ -1,0 +1,17 @@
+// Fixture: malformed //caribou:allow comments are themselves findings
+// under the "allow" check, and suppress nothing.
+package fixture
+
+import "time"
+
+//caribou:allow
+func noCheck() {}
+
+//caribou:allow bogus some reason
+func unknownCheck() {}
+
+// A reasonless allow both fires the allow check and fails to suppress
+// the wallclock finding on its line.
+func reasonless() time.Time {
+	return time.Now() //caribou:allow wallclock
+}

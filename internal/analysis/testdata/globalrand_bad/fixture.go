@@ -1,0 +1,19 @@
+// Fixture: globalrand findings in a non-exempt package. Loaded as
+// caribou/internal/solver by the test harness.
+package fixture
+
+import "math/rand" // want globalrand "import of math/rand outside internal/simclock"
+
+func draws() float64 {
+	n := rand.Intn(5)                                // want globalrand "call of rand.Intn outside internal/simclock"
+	r := rand.New(rand.NewSource(1))                 // want globalrand "call of rand.New outside internal/simclock" // want globalrand "call of rand.NewSource outside internal/simclock"
+	return float64(n) + rand.Float64() + r.Float64() // want globalrand "call of rand.Float64 outside internal/simclock"
+}
+
+// Methods on an already-obtained generator are not re-flagged: the
+// violation is obtaining it here, reported at rand.New above.
+func method(r *rand.Rand) float64 { return r.ExpFloat64() }
+
+func suppressed() int {
+	return rand.Int() //caribou:allow globalrand fixture exercises suppression
+}

@@ -1,0 +1,10 @@
+// Fixture: math/rand produces no findings when the package is loaded as
+// caribou/internal/simclock (the package that owns the stream
+// discipline).
+package fixture
+
+import "math/rand"
+
+func draw() float64 {
+	return rand.New(rand.NewSource(1)).Float64()
+}

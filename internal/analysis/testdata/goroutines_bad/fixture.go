@@ -1,0 +1,18 @@
+// Fixture: goroutines findings. Loaded as caribou/internal/metrics by
+// the test harness (not an approved concurrency package).
+package fixture
+
+func spawns(done chan struct{}) {
+	go func() { // want goroutines "go statement outside the approved concurrency packages"
+		done <- struct{}{}
+	}()
+	<-done
+}
+
+func suppressed(done chan struct{}) {
+	//caribou:allow goroutines fixture exercises suppression
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}

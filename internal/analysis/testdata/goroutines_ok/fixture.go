@@ -1,0 +1,10 @@
+// Fixture: go statements produce no findings when the package is loaded
+// as caribou/internal/solver (an approved concurrency package).
+package fixture
+
+func spawns(done chan struct{}) {
+	go func() {
+		done <- struct{}{}
+	}()
+	<-done
+}

@@ -1,0 +1,14 @@
+// Fixture: the same formatting produces no findings when the package is
+// loaded as caribou/internal/eval — hotsprintf only covers the
+// montecarlo/solver/stats hot paths.
+package fixture
+
+import "fmt"
+
+func sprintfInLoop(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("row/%d", i))
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Fixture: hotsprintf findings. Loaded as caribou/internal/montecarlo
+// by the test harness (one of the hot packages).
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func sprintfInLoop(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("mc/%d", i)) // want hotsprintf "fmt.Sprintf inside a loop in a hot package"
+	}
+	return out
+}
+
+func concatInRange(names []string) []string {
+	var out []string
+	for _, name := range names {
+		out = append(out, "mc/"+name) // want hotsprintf "string concatenation inside a loop"
+	}
+	return out
+}
+
+func plusEqualsInLoop(names []string) string {
+	s := ""
+	for _, name := range names {
+		s += name // want hotsprintf "string += inside a loop"
+	}
+	return s
+}
+
+// Outside any loop, formatting is fine.
+func sprintfOutsideLoop(i int) string { return fmt.Sprintf("mc/%d", i) }
+
+// Constant concatenation folds at compile time; fmt.Errorf is an error
+// path that fires once and unwinds; strconv.AppendInt is the sanctioned
+// in-loop builder.
+func allowedInLoop(n int) ([]byte, error) {
+	const prefix = "mc/" + "hour/"
+	buf := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		buf = append(buf[:0], prefix...)
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("empty label %d", i)
+		}
+	}
+	return buf, nil
+}
+
+func suppressed(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s = fmt.Sprintf("%s/%d", s, i) //caribou:allow hotsprintf fixture exercises suppression
+	}
+	return s
+}

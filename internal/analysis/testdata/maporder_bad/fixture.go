@@ -1,0 +1,59 @@
+// Fixture: maporder findings. Loaded as caribou/internal/eval by the
+// test harness (the check applies to every package).
+package fixture
+
+import "fmt"
+
+func printsInsideRange(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want maporder "fmt output inside range over map"
+	}
+}
+
+func appendsWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "append to keys inside range over map"
+	}
+	return keys
+}
+
+func sendsInsideRange(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want maporder "channel send inside range over map"
+	}
+}
+
+func accumulatesFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder "floating-point accumulation into sum"
+	}
+	return sum
+}
+
+func accumulatesString(m map[string]string) string {
+	var out string
+	for _, v := range m {
+		out += v // want maporder "string accumulation into out"
+	}
+	return out
+}
+
+func nestedInsideIf(m map[string]int) []int {
+	var vals []int
+	if len(m) > 0 {
+		for _, v := range m {
+			vals = append(vals, v) // want maporder "append to vals inside range over map"
+		}
+	}
+	return vals
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //caribou:allow maporder fixture exercises suppression
+	}
+	return sum
+}

@@ -1,0 +1,67 @@
+// Fixture: order-insensitive map iteration bodies and the sanctioned
+// collect-then-sort idiom produce no maporder findings.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collect-then-sort: the appended slice is sorted before use.
+func collectThenSort(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// sort.Slice with the collected rows as the first argument also counts.
+func collectThenSortSlice(m map[string]float64) []float64 {
+	var rows []float64
+	for _, v := range m {
+		rows = append(rows, v)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// Integer counting, min/max via comparison, and map writes are
+// order-insensitive.
+func orderInsensitive(m map[string]int) (int, int, map[string]int) {
+	count := 0
+	best := 0
+	inverted := make(map[string]int, len(m))
+	for k, v := range m {
+		count++
+		if v > best {
+			best = v
+		}
+		inverted[k] = v
+	}
+	return count, best, inverted
+}
+
+// Appending while ranging over a slice is fine: slice order is fixed.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Appending to a slice declared inside the loop body never outlives an
+// iteration.
+func innerSlice(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		total += len(doubled)
+	}
+	return total
+}

@@ -1,0 +1,31 @@
+// Fixture: wallclock findings in a non-exempt package. Loaded as
+// caribou/internal/metrics by the test harness.
+package fixture
+
+import "time"
+
+func uses() time.Duration {
+	start := time.Now() // want wallclock "time.Now reads the wall clock"
+	time.Sleep(0)       // want wallclock "time.Sleep reads the wall clock"
+	<-time.After(0)     // want wallclock "time.After reads the wall clock"
+	f := time.Now       // want wallclock "time.Now reads the wall clock"
+	_ = f
+	return time.Since(start) // want wallclock "time.Since reads the wall clock"
+}
+
+// Pure time construction and comparison stays allowed.
+func pure() bool {
+	a := time.Unix(0, 0)
+	b := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	return a.After(b) || a.Before(b)
+}
+
+// Suppressions: a trailing allow and a standalone allow above the line.
+func suppressedTrailing() time.Time {
+	return time.Now() //caribou:allow wallclock fixture exercises trailing suppression
+}
+
+func suppressedAbove() time.Time {
+	//caribou:allow wallclock fixture exercises standalone suppression
+	return time.Now()
+}

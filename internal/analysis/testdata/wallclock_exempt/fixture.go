@@ -1,0 +1,11 @@
+// Fixture: the same wall-clock calls produce no findings when the
+// package is loaded as caribou/internal/telemetry (the exempt package:
+// spans and events are wall-stamped by design).
+package fixture
+
+import "time"
+
+func stamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import "go/types"
+
+// wallclockExempt lists packages that legitimately read the wall clock:
+// telemetry stamps spans and events with real time by design (DESIGN.md
+// "Telemetry": wall vs simclock stamping).
+var wallclockExempt = []string{
+	"caribou/internal/telemetry",
+}
+
+// wallclockFuncs are the time functions that observe or wait on real
+// time. Formatting/parsing helpers (time.Parse, time.Unix, time.Date)
+// are pure and stay allowed.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallclockAnalyzer flags every use of a wall-clock time function
+// outside the exempt packages. Simulation code must use simclock so that
+// runs are bit-identical; sites that time real experiments (not
+// simulated ones) carry a //caribou:allow wallclock annotation instead.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flag time.Now/Since/Sleep and friends outside internal/telemetry; simulation code must use simclock",
+	Run: func(p *Pass) {
+		if pathInAny(p.PkgPath, wallclockExempt) {
+			return
+		}
+		for id, obj := range p.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+				continue
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				continue // methods like time.Time.After compare values; only the package functions touch the clock
+			}
+			p.Reportf(id.Pos(), "time.%s reads the wall clock: simulation code must use simclock (annotate real-experiment timing with //caribou:allow wallclock <reason>)", fn.Name())
+		}
+	},
+}

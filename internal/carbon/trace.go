@@ -9,6 +9,7 @@ package carbon
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"caribou/internal/simclock"
@@ -180,5 +181,6 @@ func (s *SyntheticSource) Zones() []string {
 	for z := range s.traces {
 		out = append(out, z)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -226,8 +226,10 @@ func (a *App) UseHomeOnly() { a.Engine.SetPlans(executor.HomeOnly{}) }
 func (a *App) DeployPlanRegions(plans dag.HourlyPlans) (float64, error) {
 	var moved float64
 	for _, plan := range plans {
-		for node, r := range plan {
-			b, err := a.Engine.EnsureDeployment(node, r)
+		// Sorted stage order keeps deployment side effects and the
+		// byte accounting independent of map iteration order.
+		for _, node := range plan.SortedNodes() {
+			b, err := a.Engine.EnsureDeployment(node, plan[node])
 			if err != nil {
 				return moved, err
 			}

@@ -59,6 +59,18 @@ func (p Plan) Regions() []region.ID {
 	return out
 }
 
+// SortedNodes returns the plan's stages in sorted order, for callers
+// whose side effects (deployments, accounting) must not depend on map
+// iteration order.
+func (p Plan) SortedNodes() []NodeID {
+	out := make([]NodeID, 0, len(p))
+	for n := range p {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // IsSingleRegion reports whether all stages share one region.
 func (p Plan) IsSingleRegion() bool { return len(p.Regions()) <= 1 }
 

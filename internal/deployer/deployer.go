@@ -92,7 +92,10 @@ func (d *Deployer) Rollout(plans dag.HourlyPlans, expiry time.Time) (float64, er
 	d.tel.rollouts.Inc()
 	var moved float64
 	for _, plan := range plans {
-		for node, r := range plan {
+		// Sorted stage order pins which deployment fails first and keeps
+		// the migrated-byte accounting independent of map iteration order.
+		for _, node := range plan.SortedNodes() {
+			r := plan[node]
 			if d.FailDeploy != nil && d.FailDeploy(node, r) {
 				d.noteRolloutFailure(node, r)
 				d.pendingPlans = &plans

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"caribou/internal/core"
@@ -154,11 +155,19 @@ func SummarizeFig12(rows []Fig12Row) []Fig12Overheads {
 		if !classes[class] {
 			continue
 		}
-		var snsOverSF, cbOverSNS, cbOverSF []float64
-		for k, m := range means {
-			if k.class != class {
-				continue
+		// Sorted workload order keeps the geometric means independent of
+		// map iteration order (log-sums are order-sensitive in the low
+		// bits).
+		var wls []string
+		for k := range means {
+			if k.class == class {
+				wls = append(wls, k.wl)
 			}
+		}
+		sort.Strings(wls)
+		var snsOverSF, cbOverSNS, cbOverSF []float64
+		for _, wl := range wls {
+			m := means[key{wl, class}]
 			sf, sns, cb := m["stepfunctions"], m["sns"], m["caribou"]
 			if sf <= 0 || sns <= 0 || cb <= 0 {
 				continue

@@ -153,11 +153,11 @@ func (p *Pool) Run(cfg RunConfig) (*Result, error) {
 			telemetry.String("strategy", cfg.Strategy.String()))
 		var start time.Time
 		if sp != nil {
-			start = time.Now()
+			start = time.Now() //caribou:allow wallclock times the real experiment run for the run_seconds histogram, not simulated time
 		}
 		e.res, e.err = Run(cfg)
 		if sp != nil {
-			p.tel.runSeconds.Observe(time.Since(start).Seconds())
+			p.tel.runSeconds.Observe(time.Since(start).Seconds()) //caribou:allow wallclock times the real experiment run for the run_seconds histogram, not simulated time
 		}
 		sp.End()
 	})

@@ -150,7 +150,7 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 	}
 	s.hourSeed = make([]int64, len(s.hours))
 	for h, u := range s.hourUnix {
-		s.hourSeed[h] = simclock.DeriveSeed(seed, fmt.Sprintf("mc/%s/%d", s.name, u))
+		s.hourSeed[h] = simclock.DeriveSeed(seed, fmt.Sprintf("mc/%s/%d", s.name, u)) //caribou:allow hotsprintf runs once per hour at snapshot compile, never in the sampling loop
 	}
 	s.SetTapes(true)
 

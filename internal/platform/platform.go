@@ -11,6 +11,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"caribou/internal/kvstore"
@@ -303,6 +304,12 @@ func (p *Platform) Deployments(workflow string) []FunctionRef {
 			out = append(out, d.ref)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Region < out[j].Region
+	})
 	return out
 }
 

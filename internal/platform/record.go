@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"caribou/internal/carbon"
@@ -140,19 +141,31 @@ func (r *InvocationRecord) CostUSD(book *pricing.Book) float64 {
 	for _, e := range r.Executions {
 		c += book.ExecutionCost(e.Region, e.MemoryMB, e.DurationSec)
 	}
-	for reg, n := range r.Services.SNSPublishes {
-		c += book.SNSCost(reg, n)
+	// Sorted region order keeps the floating-point sum independent of map
+	// iteration order.
+	for _, reg := range sortedRegions(r.Services.SNSPublishes) {
+		c += book.SNSCost(reg, r.Services.SNSPublishes[reg])
 	}
-	for reg, n := range r.Services.KVReads {
-		c += book.DynamoCost(reg, n, 0)
+	for _, reg := range sortedRegions(r.Services.KVReads) {
+		c += book.DynamoCost(reg, r.Services.KVReads[reg], 0)
 	}
-	for reg, n := range r.Services.KVWrites {
-		c += book.DynamoCost(reg, 0, n)
+	for _, reg := range sortedRegions(r.Services.KVWrites) {
+		c += book.DynamoCost(reg, 0, r.Services.KVWrites[reg])
 	}
 	for _, t := range r.Transfers {
 		c += book.EgressCost(t.From, t.To, t.Bytes)
 	}
 	return c
+}
+
+// sortedRegions returns m's keys in sorted order.
+func sortedRegions(m map[region.ID]int) []region.ID {
+	out := make([]region.ID, 0, len(m))
+	for reg := range m {
+		out = append(out, reg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // CarbonGrams accounts operational carbon under the given transmission
@@ -224,5 +237,6 @@ func (r *InvocationRecord) RegionsUsed() []region.ID {
 	for id := range set {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,8 +1,8 @@
 package solver
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"caribou/internal/simclock"
 )
@@ -47,6 +47,13 @@ func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
 	ranked := c.rankedEligible(h)
 	atUnix := c.snap.HourTime(h).Unix()
 
+	// Stream labels are "solver/<at>/<i>". Building them with
+	// strconv.AppendInt into a reused buffer keeps the bytes — and hence
+	// every derived seed — identical to the former fmt.Sprintf while
+	// dropping the per-iteration format-parsing cost.
+	labelPrefix := "solver/" + strconv.FormatInt(atUnix, 10) + "/"
+	labelBuf := make([]byte, 0, len(labelPrefix)+20)
+
 	type proposal struct {
 		assign  []int
 		key     string
@@ -67,7 +74,9 @@ func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
 		props := make([]proposal, 0, end-iter)
 		assigns := make([][]int, 0, end-iter)
 		for i := iter; i < end; i++ {
-			rng := simclock.DeriveRand(s.seed, fmt.Sprintf("solver/%d/%d", atUnix, i))
+			labelBuf = append(labelBuf[:0], labelPrefix...)
+			labelBuf = strconv.AppendInt(labelBuf, int64(i), 10)
+			rng := simclock.DeriveRand(s.seed, string(labelBuf))
 			nd := c.propose(current.assign, ranked, rng)
 			props = append(props, proposal{nd, assignKey(nd), rng.Float64()})
 			assigns = append(assigns, nd)

@@ -99,6 +99,65 @@ func TestPercentileDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+// The NaN fallback keeps the legacy total order: sort.Float64s places
+// NaNs before every number, so low percentiles land on NaN and high ones
+// interpolate over the numeric tail exactly as the pre-quickselect
+// implementation did.
+func TestPercentileNaNFallback(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{nan, 3, 1, 2} // sorts to [NaN, 1, 2, 3]
+	if v, err := Percentile(xs, 0); err != nil || !math.IsNaN(v) {
+		t.Errorf("p0 = %v, %v; want NaN", v, err)
+	}
+	if v, _ := Percentile(xs, 50); math.Abs(v-1.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.5", v)
+	}
+	if v, _ := Percentile(xs, 100); v != 3 {
+		t.Errorf("p100 = %v, want 3", v)
+	}
+	// Input with NaNs must survive untouched too.
+	if !math.IsNaN(xs[0]) || xs[1] != 3 || xs[2] != 1 || xs[3] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+
+	// Cross-check the fallback against a reference full-sort
+	// implementation over several NaN placements and ranks.
+	ref := func(in []float64, p float64) float64 {
+		w := append([]float64(nil), in...)
+		sort.Float64s(w)
+		rank := p / 100 * float64(len(w)-1)
+		lo, hi := int(math.Floor(rank)), int(math.Ceil(rank))
+		if lo == hi {
+			return w[lo]
+		}
+		return w[lo] + (rank-float64(lo))*(w[hi]-w[lo])
+	}
+	cases := [][]float64{
+		{nan, 5},
+		{5, nan, nan},
+		{9, nan, 4, 7, nan, 1, 8},
+		{nan, nan, nan, 2},
+	}
+	for _, in := range cases {
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
+			got, err := Percentile(in, p)
+			if err != nil {
+				t.Fatalf("Percentile(%v, %v): %v", in, p, err)
+			}
+			want := ref(in, p)
+			if math.IsNaN(want) {
+				if !math.IsNaN(got) {
+					t.Errorf("Percentile(%v, %v) = %v, want NaN", in, p, got)
+				}
+				continue
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", in, p, got, want)
+			}
+		}
+	}
+}
+
 func TestQuickPercentileWithinBounds(t *testing.T) {
 	f := func(raw []float64, p8 uint8) bool {
 		var xs []float64
