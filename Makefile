@@ -34,7 +34,8 @@ vet:
 # outside simclock), maporder (no observable output from unsorted map
 # iteration), hotsprintf (no Sprintf/concat in montecarlo/solver/stats
 # loops), goroutines (go statements only in the approved concurrency
-# packages). Suppress an individual finding with
+# packages), taperecord (no tapeStep/tapeEdge AoS literals outside
+# internal/montecarlo). Suppress an individual finding with
 # //caribou:allow <check> <reason> — the reason is mandatory.
 # See DESIGN.md "Static analysis".
 lint:
@@ -47,14 +48,14 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
 # bench-json times the tracked solver/tape benchmarks and merges the
-# ns/op numbers into BENCH_PR4.json under $(LABEL) (see cmd/benchjson;
+# ns/op numbers into BENCH_PR6.json under $(LABEL) (see cmd/benchjson;
 # existing labels such as "baseline" are preserved). Run on an otherwise
 # idle machine for stable numbers.
 LABEL ?= after
 BENCHES = BenchmarkSolver24Hourly$$|BenchmarkSolver24HourlyUntaped$$|BenchmarkFig7Parallel$$|BenchmarkSnapshotEstimateTaped$$|BenchmarkSnapshotEstimateUntaped$$
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCHES)' -benchtime 3x . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json -label $(LABEL)
+		| $(GO) run ./cmd/benchjson -out BENCH_PR6.json -label $(LABEL)
 
 # verify is the pre-merge gate: full build + full suite + race-checked
 # solver/montecarlo/telemetry/eval-pool + vet + the determinism lint.

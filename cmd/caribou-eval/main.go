@@ -14,7 +14,9 @@
 // both enable the telemetry recorder, which is otherwise off. Telemetry
 // is inert — figure output on stdout is bit-identical with it on or off.
 // -pprof ADDR serves net/http/pprof, and -cpuprofile/-memprofile write
-// runtime profiles.
+// runtime profiles. -eval-mode {nodelta,nosoa,untaped} routes every
+// solve through one of the solver's reference evaluation paths; stdout
+// stays bit-identical in every mode (see EXPERIMENTS.md).
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"caribou/internal/eval"
+	"caribou/internal/solver"
 	"caribou/internal/telemetry"
 	"caribou/internal/workloads"
 )
@@ -45,6 +48,7 @@ func realMain() int {
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS)")
 	traceFile := flag.String("trace", "", "write an NDJSON telemetry trace to this file")
 	summary := flag.Bool("telemetry", false, "print a telemetry summary table to stderr")
+	evalMode := flag.String("eval-mode", "", "solver evaluation path: nodelta, nosoa, or untaped (default: SoA tapes + delta replay; all paths are bit-identical)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -60,6 +64,21 @@ func realMain() int {
 	// instrument handles are captured at construction time.
 	if *traceFile != "" || *summary {
 		telemetry.Enable(telemetry.Options{})
+	}
+	// The evaluation-path override must likewise land before any solver
+	// is built. Every mode is bit-identical on stdout — the flag exists
+	// so that claim can be checked end-to-end (see EXPERIMENTS.md).
+	switch *evalMode {
+	case "":
+	case "nodelta":
+		solver.SetDefaultEvalModes(solver.EvalModes{NoDeltaEval: true})
+	case "nosoa":
+		solver.SetDefaultEvalModes(solver.EvalModes{NoSoATape: true})
+	case "untaped":
+		solver.SetDefaultEvalModes(solver.EvalModes{UntapedEstimates: true})
+	default:
+		fmt.Fprintf(os.Stderr, "caribou-eval: unknown -eval-mode %q (want nodelta, nosoa, or untaped)\n", *evalMode)
+		return 2
 	}
 	if *pprofAddr != "" {
 		//caribou:allow goroutines pprof server lives outside the simulation; it never touches deterministic state
@@ -363,7 +382,7 @@ func run(name string, opts runOpts) error {
 		if err != nil {
 			return err
 		}
-		eval.PrintAblationSolver(w, rows)
+		eval.PrintAblationSolver(w, os.Stderr, rows)
 	case "ablate-forecast":
 		rows, err := eval.AblationForecast(seed)
 		if err != nil {

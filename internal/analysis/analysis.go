@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer,
 		HotSprintfAnalyzer,
 		GoroutinesAnalyzer,
+		TapeRecordAnalyzer,
 	}
 }
 

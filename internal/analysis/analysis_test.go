@@ -125,6 +125,14 @@ func TestGoroutinesApprovedPackage(t *testing.T) {
 	checkFixture(t, "goroutines_ok", "caribou/internal/solver")
 }
 
+func TestTapeRecordFixture(t *testing.T) {
+	checkFixture(t, "taperecord_bad", "caribou/internal/solver")
+}
+
+func TestTapeRecordOwnerPackage(t *testing.T) {
+	checkFixture(t, "taperecord_ok", "caribou/internal/montecarlo")
+}
+
 // TestAllowCommentValidation pins the meta-check: an allow comment that
 // names no check, names an unknown check, or carries no reason is itself
 // a diagnostic — and a reasonless allow suppresses nothing, so the

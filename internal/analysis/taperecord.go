@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// tapeRecordTypes are the array-of-structs sample-record types owned by
+// the Monte Carlo tape compiler.
+var tapeRecordTypes = map[string]bool{"tapeStep": true, "tapeEdge": true}
+
+// tapeOwnerPkg is the only package allowed to construct tape records: the
+// AoS builder there is the reference compiler the SoA columns are
+// transposed from.
+const tapeOwnerPkg = "caribou/internal/montecarlo"
+
+// TapeRecordAnalyzer flags composite literals of types named tapeStep or
+// tapeEdge outside internal/montecarlo. Replay streams structure-of-arrays
+// columns; the padded AoS records exist only as the reference compiler's
+// intermediate form. A tapeStep/tapeEdge literal sprouting in another
+// package — whether by exporting the originals or by copying their
+// definitions — reintroduces the stride-heavy layout the SoA migration
+// removed, and bypasses the transpose that keeps the two layouts
+// bit-identical. The name-based match is deliberate: a copied definition
+// is the same hazard as a reference to the original.
+var TapeRecordAnalyzer = &Analyzer{
+	Name: "taperecord",
+	Doc:  "flag tapeStep/tapeEdge composite literals outside internal/montecarlo; tapes are compiled there",
+	Run: func(p *Pass) {
+		if pathIn(p.PkgPath, tapeOwnerPkg) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(lit)
+				if t == nil {
+					return true
+				}
+				named, ok := t.(*types.Named)
+				if !ok || !tapeRecordTypes[named.Obj().Name()] {
+					return true
+				}
+				p.Reportf(lit.Pos(), "%s composite literal outside %s: AoS tape records belong to the tape compiler; replay reads the SoA columns transposed from them", named.Obj().Name(), tapeOwnerPkg)
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,42 @@
+// Fixture: taperecord findings. Loaded as caribou/internal/solver by the
+// test harness — any package other than internal/montecarlo. The local
+// type definitions mimic copying the AoS record structs out of the tape
+// compiler, which is exactly the hazard the check guards against.
+package fixture
+
+// Copied record definitions (the originals are unexported in
+// internal/montecarlo, so a stray AoS tape necessarily starts this way).
+type tapeStep struct {
+	node  int32
+	flags uint8
+}
+
+type tapeEdge struct {
+	to    int32
+	kind  uint8
+	bytes float64
+}
+
+func buildStep() tapeStep {
+	return tapeStep{node: 3, flags: 1} // want taperecord "tapeStep composite literal outside caribou/internal/montecarlo"
+}
+
+func buildEdgePtr() *tapeEdge {
+	return &tapeEdge{to: 4, kind: 2, bytes: 1e6} // want taperecord "tapeEdge composite literal outside caribou/internal/montecarlo"
+}
+
+func buildSlice() []tapeStep {
+	return []tapeStep{ // implicit element literals are flagged, not the slice
+		{node: 1}, // want taperecord "tapeStep composite literal"
+		{node: 2}, // want taperecord "tapeStep composite literal"
+	}
+}
+
+// Other struct literals stay silent.
+type point struct{ x, y int }
+
+func buildPoint() point { return point{1, 2} }
+
+func suppressed() tapeStep {
+	return tapeStep{node: 9} //caribou:allow taperecord fixture exercises suppression
+}

@@ -1,0 +1,20 @@
+// Fixture: no taperecord findings when loaded as
+// caribou/internal/montecarlo — the tape compiler owns its AoS records.
+package fixture
+
+type tapeStep struct {
+	node  int32
+	flags uint8
+}
+
+type tapeEdge struct {
+	to    int32
+	kind  uint8
+	bytes float64
+}
+
+func compile() ([]tapeStep, []tapeEdge) {
+	steps := []tapeStep{{node: 0}, {node: 1, flags: 2}}
+	edges := []tapeEdge{{to: 1, kind: 1, bytes: 5e5}}
+	return steps, edges
+}

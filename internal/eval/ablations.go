@@ -111,12 +111,23 @@ func perDayOr(v int) int {
 	return 192
 }
 
-// PrintAblationSolver renders the comparison.
-func PrintAblationSolver(w io.Writer, rows []AblationSolverRow) {
+// PrintAblationSolver renders the comparison to w. The table carries only
+// deterministic columns so stdout stays byte-comparable across runs and
+// machines; the wall-clock solve times go to timings (nil discards them) —
+// callers pass stderr.
+func PrintAblationSolver(w, timings io.Writer, rows []AblationSolverRow) {
 	fmt.Fprintf(w, "Ablation — solver strategies (estimated carbon normalized to home)\n")
-	fmt.Fprintf(w, "%-24s %-18s %12s %10s\n", "workload", "strategy", "normalized", "ms")
+	fmt.Fprintf(w, "%-24s %-18s %12s\n", "workload", "strategy", "normalized")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-24s %-18s %12.3f %10d\n", r.Workload, r.Strategy, r.Normalized, r.SolveMillis)
+		fmt.Fprintf(w, "%-24s %-18s %12.3f\n", r.Workload, r.Strategy, r.Normalized)
+	}
+	if timings == nil {
+		return
+	}
+	fmt.Fprintf(timings, "ablate-solver wall-clock\n")
+	fmt.Fprintf(timings, "%-24s %-18s %10s\n", "workload", "strategy", "ms")
+	for _, r := range rows {
+		fmt.Fprintf(timings, "%-24s %-18s %10d\n", r.Workload, r.Strategy, r.SolveMillis)
 	}
 }
 

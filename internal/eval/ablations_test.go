@@ -1,0 +1,37 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintAblationSolverSeparatesTimings pins the output contract of the
+// ablate-solver experiment: the primary writer gets only deterministic
+// columns (byte-comparable across runs and machines), and the wall-clock
+// milliseconds land exclusively on the timings writer.
+func TestPrintAblationSolverSeparatesTimings(t *testing.T) {
+	rows := []AblationSolverRow{
+		{Workload: "dna_visualization", Strategy: "hbss/exhaustive", Normalized: 0.42, SolveMillis: 137},
+		{Workload: "dna_visualization", Strategy: "coarse", Normalized: 0.58, SolveMillis: 9},
+	}
+	var out, timings strings.Builder
+	PrintAblationSolver(&out, &timings, rows)
+	if strings.Contains(out.String(), "ms") || strings.Contains(out.String(), "137") {
+		t.Errorf("stdout table must not carry wall-clock timings:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0.420") || !strings.Contains(out.String(), "coarse") {
+		t.Errorf("stdout table missing deterministic columns:\n%s", out.String())
+	}
+	if !strings.Contains(timings.String(), "137") || !strings.Contains(timings.String(), "ms") {
+		t.Errorf("timings writer should carry the ms column:\n%s", timings.String())
+	}
+
+	// A second identical invocation with different timings must produce
+	// byte-identical primary output.
+	rows[0].SolveMillis = 999
+	var out2 strings.Builder
+	PrintAblationSolver(&out2, nil, rows)
+	if out.String() != out2.String() {
+		t.Error("primary output varies with wall-clock timings")
+	}
+}

@@ -1,0 +1,338 @@
+package montecarlo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/dag"
+	"caribou/internal/region"
+	"caribou/internal/telemetry"
+)
+
+// enableTelemetry installs a fresh process recorder for the test so the
+// delta counters (captured at Estimator construction) are live, and
+// restores the disabled default afterwards.
+func enableTelemetry(t *testing.T) {
+	t.Helper()
+	telemetry.Enable(telemetry.Options{})
+	t.Cleanup(telemetry.Disable)
+}
+
+// deltaPair runs EstimateDelta(base→assign) and full Estimate(assign) on
+// the same snapshot and requires bit-identical results (struct equality
+// covers every float field and the sample count).
+func deltaPair(t *testing.T, snap *Snapshot, basePlan, plan dag.Plan, h int) {
+	t.Helper()
+	baseAssign, err := snap.Assign(basePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := snap.Assign(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := snap.Estimate(baseAssign, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := snap.EstimateDelta(base, baseAssign, assign, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := snap.Estimate(assign, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("hour %d: delta %v→%v = %+v, full replay %+v", h, basePlan, plan, got, want)
+	}
+}
+
+// TestEstimateDeltaBitIdenticalToFull sweeps base→neighbor pairs that
+// land on every EstimateDelta path — single-node diffs resumable from a
+// boundary checkpoint, diffs at the entry node (cone covers the tape:
+// structural fallback), multi-node diffs both inside and ahead of the
+// cone, and the identical-plan shortcut — across hours, on the sync-rich
+// workflow. Results must be bit-identical to full replay in every case.
+func TestEstimateDeltaBitIdenticalToFull(t *testing.T) {
+	in := richInputs(t)
+	hours := []time.Time{t0, t0.Add(time.Hour), t0.Add(7 * time.Hour)}
+	snap, err := New(in, carbon.BestCase(), 11).Compile(nil, hours, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := dag.NewHomePlan(in.d, region.USEast1)
+	mut := func(over dag.Plan) dag.Plan {
+		p := dag.Plan{}
+		for k, v := range home {
+			p[k] = v
+		}
+		for k, v := range over {
+			p[k] = v
+		}
+		return p
+	}
+	pairs := []struct {
+		name       string
+		base, plan dag.Plan
+	}{
+		{"late-single", home, mut(dag.Plan{"tail": region.CACentral1})},
+		{"mid-single", home, mut(dag.Plan{"join": region.USWest2})},
+		{"entry-diff", home, mut(dag.Plan{"start": region.CACentral1})},
+		{"multi-late", home, mut(dag.Plan{"join": region.CACentral1, "tail": region.USWest2})},
+		{"multi-spanning", home, mut(dag.Plan{"left": region.USWest2, "tail": region.CACentral1})},
+		{"base-offloaded", mut(dag.Plan{"join": region.USWest2}), mut(dag.Plan{"join": region.USWest2, "tail": region.CACentral1})},
+		{"identical", home, home},
+	}
+	for _, pc := range pairs {
+		t.Run(pc.name, func(t *testing.T) {
+			for h := range hours {
+				deltaPair(t, snap, pc.base, pc.plan, h)
+			}
+		})
+	}
+}
+
+// TestEstimateDeltaIdenticalPlanReturnsBase pins the no-diff shortcut:
+// when the plans match and a base estimate is supplied, EstimateDelta
+// returns that pointer without replaying anything.
+func TestEstimateDeltaIdenticalPlanReturnsBase(t *testing.T) {
+	in := richInputs(t)
+	snap, err := New(in, carbon.BestCase(), 3).Compile(nil, []time.Time{t0}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := snap.Assign(dag.NewHomePlan(in.d, region.USEast1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := snap.Estimate(assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := snap.EstimateDelta(base, assign, assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != base {
+		t.Errorf("identical plans should return the base estimate pointer, got %p want %p", got, base)
+	}
+}
+
+// TestDeltaAnchorPiggybackedOnFallback pins the anchor build strategy:
+// the first eligible request of an episode records its own full replay
+// (no dedicated replay of the incumbent), later neighbors resume from it,
+// and an entry-node diff never builds an anchor at all.
+func TestDeltaAnchorPiggybackedOnFallback(t *testing.T) {
+	enableTelemetry(t)
+	in := richInputs(t)
+	snap, err := New(in, carbon.BestCase(), 11).Compile(nil, []time.Time{t0}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := dag.NewHomePlan(in.d, region.USEast1)
+	baseAssign, err := snap.Assign(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := snap.Estimate(baseAssign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor := dag.Plan{}
+	for k, v := range home {
+		neighbor[k] = v
+	}
+	neighbor["tail"] = region.CACentral1
+	assign, err := snap.Assign(neighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Entry-node diff: structural fallback, must not build an anchor.
+	early := dag.Plan{}
+	for k, v := range home {
+		early[k] = v
+	}
+	early["start"] = region.CACentral1
+	earlyAssign, err := snap.Assign(early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb0 := snap.tel.deltaFallbacks.Value()
+	if _, err := snap.EstimateDelta(base, baseAssign, earlyAssign, 0); err != nil {
+		t.Fatal(err)
+	}
+	if snap.deltaAnchorLoaded(0) {
+		t.Fatal("entry-node diff must not record an anchor (its cone covers the whole tape)")
+	}
+	if got := snap.tel.deltaFallbacks.Value(); got != fb0+1 {
+		t.Errorf("entry-node diff: fallbacks %d, want %d", got, fb0+1)
+	}
+
+	// First eligible request: builds the anchor as a side effect of its
+	// own (full, bit-identical) replay.
+	anchors0 := snap.tel.deltaAnchors.Value()
+	got, err := snap.EstimateDelta(base, baseAssign, assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := snap.Estimate(assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("recording estimate diverged from full replay: %+v vs %+v", got, want)
+	}
+	if !snap.deltaAnchorLoaded(0) {
+		t.Fatal("first eligible request should have recorded an anchor")
+	}
+	if snap.tel.deltaAnchors.Value() != anchors0+1 {
+		t.Errorf("anchors %d, want %d", snap.tel.deltaAnchors.Value(), anchors0+1)
+	}
+
+	// Second neighbor: must resume from the recorded checkpoints.
+	resumed0 := snap.tel.deltaResumed.Value()
+	neighbor2 := dag.Plan{}
+	for k, v := range home {
+		neighbor2[k] = v
+	}
+	neighbor2["tail"] = region.USWest2
+	deltaPair(t, snap, home, neighbor2, 0)
+	if snap.tel.deltaResumed.Value() == resumed0 {
+		t.Error("second eligible neighbor should resume from the anchor, not replay in full")
+	}
+}
+
+// TestDeltaSkipConeCrossesSync exercises resume checkpoints whose suffix
+// contains both a conditionally-skipped branch (start→left has p=0.7, so
+// some samples skip-propagate into the join) and the join's sync wait:
+// restoring only the cone slots must still reproduce full replay exactly,
+// for every plan diff at or past the join.
+func TestDeltaSkipConeCrossesSync(t *testing.T) {
+	in := richInputs(t)
+	hours := []time.Time{t0, t0.Add(3 * time.Hour)}
+	snap, err := New(in, carbon.BestCase(), 29).Compile(nil, hours, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := dag.NewHomePlan(in.d, region.USEast1)
+	for _, tail := range []region.ID{region.CACentral1, region.USWest2} {
+		for _, join := range []region.ID{region.USEast1, region.CACentral1} {
+			p := dag.Plan{}
+			for k, v := range home {
+				p[k] = v
+			}
+			p["join"] = join
+			p["tail"] = tail
+			for h := range hours {
+				deltaPair(t, snap, home, p, h)
+			}
+		}
+	}
+}
+
+// TestDeltaHeavyTailConcurrentParity drives delta replay past the anchor
+// horizon: heavy-tail exec durations keep every estimate running far
+// beyond the checkpointed sample count, so resumes hand over to full
+// replay mid-estimate (both legs of estimateFromAnchor).
+// Eight goroutines share one snapshot (put under -race by `make verify`)
+// and each must match the serial full replay bit for bit; worker count 1
+// is the plain deltaPair call before the fan-out.
+func TestDeltaHeavyTailConcurrentParity(t *testing.T) {
+	in := &heavyTailInputs{fakeInputs: richInputs(t)}
+	snap, err := New(in, carbon.BestCase(), 17).Compile(nil, []time.Time{t0}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := dag.NewHomePlan(in.d, region.USEast1)
+	neighbor := dag.Plan{}
+	for k, v := range home {
+		neighbor[k] = v
+	}
+	neighbor["tail"] = region.CACentral1
+
+	baseAssign, err := snap.Assign(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := snap.Assign(neighbor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := snap.Estimate(baseAssign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := snap.Estimate(assign, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Samples <= deltaAnchorSamples {
+		t.Fatalf("heavy-tail fixture must outrun the anchor horizon (%d), converged at %d samples",
+			deltaAnchorSamples, want.Samples)
+	}
+
+	// Serial (worker count 1).
+	deltaPair(t, snap, home, neighbor, 0)
+
+	// Concurrent (worker count 8), all through EstimateDelta.
+	const goroutines = 8
+	errs := make([]error, goroutines)
+	got := make([]*Estimate, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g], errs[g] = snap.EstimateDelta(base, baseAssign, assign, 0)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if *got[g] != *want {
+			t.Errorf("goroutine %d diverged from full replay: %+v vs %+v", g, got[g], want)
+		}
+	}
+}
+
+// TestEstimateDeltaFallsBackWithoutSoA pins the escape hatches: with the
+// AoS layout or no tapes at all, EstimateDelta degrades to the
+// corresponding full path, still bit-identical.
+func TestEstimateDeltaFallsBackWithoutSoA(t *testing.T) {
+	enableTelemetry(t)
+	in := richInputs(t)
+	home := dag.NewHomePlan(in.d, region.USEast1)
+	neighbor := dag.Plan{}
+	for k, v := range home {
+		neighbor[k] = v
+	}
+	neighbor["tail"] = region.CACentral1
+	for _, mode := range []string{"aos", "untaped"} {
+		t.Run(mode, func(t *testing.T) {
+			snap, err := New(in, carbon.BestCase(), 11).Compile(nil, []time.Time{t0}, t0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "aos":
+				snap.SetSoA(false)
+			case "untaped":
+				snap.SetTapes(false)
+			}
+			fb0 := snap.tel.deltaFallbacks.Value()
+			deltaPair(t, snap, home, neighbor, 0)
+			if snap.tel.deltaFallbacks.Value() == fb0 {
+				t.Errorf("%s mode should count a delta fallback", mode)
+			}
+			if snap.deltaAnchorLoaded(0) {
+				t.Errorf("%s mode must not record anchors", mode)
+			}
+		})
+	}
+}

@@ -95,16 +95,26 @@ type mcTelemetry struct {
 	tapeBatches *telemetry.Counter
 	tapeSamples *telemetry.Counter
 	tapeReplays *telemetry.Counter
+	// Delta-replay accounting (delta.go): anchors built, samples resumed
+	// from an anchor checkpoint (the incremental win), and EstimateDelta
+	// calls that fell back to full replay (multi-node diff, entry-node
+	// diff, oversized DAG, or non-SoA tapes).
+	deltaAnchors   *telemetry.Counter
+	deltaResumed   *telemetry.Counter
+	deltaFallbacks *telemetry.Counter
 }
 
 func newMCTelemetry() mcTelemetry {
 	rec := telemetry.Default()
 	return mcTelemetry{
-		estimates:   rec.Counter("montecarlo.estimates"),
-		samples:     rec.Counter("montecarlo.samples"),
-		tapeBatches: rec.Counter("montecarlo.tape_batches"),
-		tapeSamples: rec.Counter("montecarlo.tape_samples"),
-		tapeReplays: rec.Counter("montecarlo.tape_replays"),
+		estimates:      rec.Counter("montecarlo.estimates"),
+		samples:        rec.Counter("montecarlo.samples"),
+		tapeBatches:    rec.Counter("montecarlo.tape_batches"),
+		tapeSamples:    rec.Counter("montecarlo.tape_samples"),
+		tapeReplays:    rec.Counter("montecarlo.tape_replays"),
+		deltaAnchors:   rec.Counter("montecarlo.delta_anchors"),
+		deltaResumed:   rec.Counter("montecarlo.delta_resumed"),
+		deltaFallbacks: rec.Counter("montecarlo.delta_fallbacks"),
 	}
 }
 
@@ -161,9 +171,27 @@ func (e *Estimator) Estimate(plan dag.Plan, at, now time.Time) (*Estimate, error
 type seriesAcc struct {
 	lat, cost, carb, execC, txC []float64
 	done                        bool
+	// Means computed by the last converged() call, valid while the series
+	// still holds meanAt samples. summarize reuses them instead of
+	// re-averaging the three largest series: stats.Mean is deterministic,
+	// so the cached values are bit-identical to a recomputation.
+	latMean, costMean, carbMean float64
+	meanAt                      int
 }
 
 func (a *seriesAcc) samples() int { return len(a.lat) }
+
+// reset clears the accumulator for reuse, keeping the slice capacity so a
+// pooled accumulator stops allocating after its first estimate.
+func (a *seriesAcc) reset() {
+	a.lat = a.lat[:0]
+	a.cost = a.cost[:0]
+	a.carb = a.carb[:0]
+	a.execC = a.execC[:0]
+	a.txC = a.txC[:0]
+	a.done = false
+	a.meanAt = 0
+}
 
 func (a *seriesAcc) add(s sample) {
 	if a.lat == nil {
@@ -183,7 +211,12 @@ func (a *seriesAcc) add(s sample) {
 }
 
 func (a *seriesAcc) converged() bool {
-	if meanCV(a.lat) < TargetCV && meanCV(a.cost) < TargetCV && meanCV(a.carb) < TargetCV {
+	var latCV, costCV, carbCV float64
+	a.latMean, latCV = meanCV(a.lat)
+	a.costMean, costCV = meanCV(a.cost)
+	a.carbMean, carbCV = meanCV(a.carb)
+	a.meanAt = len(a.lat)
+	if latCV < TargetCV && costCV < TargetCV && carbCV < TargetCV {
 		a.done = true
 	}
 	return a.done
@@ -193,34 +226,42 @@ func (a *seriesAcc) summarize() (*Estimate, error) {
 	est := &Estimate{
 		Samples:        len(a.lat),
 		Converged:      a.done,
-		LatencyMean:    stats.Mean(a.lat),
-		CostMean:       stats.Mean(a.cost),
-		CarbonMean:     stats.Mean(a.carb),
 		ExecCarbonMean: stats.Mean(a.execC),
 		TxCarbonMean:   stats.Mean(a.txC),
 	}
+	if a.meanAt == len(a.lat) {
+		est.LatencyMean, est.CostMean, est.CarbonMean = a.latMean, a.costMean, a.carbMean
+	} else {
+		est.LatencyMean = stats.Mean(a.lat)
+		est.CostMean = stats.Mean(a.cost)
+		est.CarbonMean = stats.Mean(a.carb)
+	}
+	// summarize is the accumulator's last read before reset, so the
+	// in-place percentile (identical values, permuted storage) is safe.
 	var err error
-	if est.LatencyP95, err = stats.Percentile(a.lat, 95); err != nil {
+	if est.LatencyP95, err = stats.PercentileInPlace(a.lat, 95); err != nil {
 		return nil, err
 	}
-	if est.CostP95, err = stats.Percentile(a.cost, 95); err != nil {
+	if est.CostP95, err = stats.PercentileInPlace(a.cost, 95); err != nil {
 		return nil, err
 	}
-	if est.CarbonP95, err = stats.Percentile(a.carb, 95); err != nil {
+	if est.CarbonP95, err = stats.PercentileInPlace(a.carb, 95); err != nil {
 		return nil, err
 	}
 	return est, nil
 }
 
-// meanCV is the coefficient of variation of the *estimated mean* (standard
-// error over mean): the convergence criterion for the batched sampling.
-func meanCV(xs []float64) float64 {
-	m := stats.Mean(xs)
+// meanCV returns the series mean and the coefficient of variation of the
+// *estimated mean* (standard error over mean): the convergence criterion
+// for the batched sampling. The mean is returned so callers can cache it
+// for the summary instead of averaging the series again.
+func meanCV(xs []float64) (mean, cv float64) {
+	m, v := stats.MeanVariance(xs)
 	if m == 0 {
-		return 0
+		return m, 0
 	}
-	se := stats.StdDev(xs) / math.Sqrt(float64(len(xs)))
-	return math.Abs(se / m)
+	se := math.Sqrt(v) / math.Sqrt(float64(len(xs)))
+	return m, math.Abs(se / m)
 }
 
 type sample struct {

@@ -2,6 +2,8 @@ package montecarlo
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"caribou/internal/carbon"
@@ -51,6 +53,28 @@ type Snapshot struct {
 	// when tape replay is disabled and every Estimate takes the untaped
 	// reference path.
 	tapes []*hourTape
+	// soaTapes selects the structure-of-arrays tape layout (the default);
+	// false keeps the array-of-structs reference layout. Flipped only via
+	// SetSoA, which drops any tapes compiled in the other layout.
+	soaTapes bool
+
+	// firstUse[n] is the smallest node index whose step reads assign[n]:
+	// n itself, lowered to the smallest direct-edge predecessor (staging
+	// and skip edges never read the target's assignment). The entry node
+	// is -1 — its assignment is read before the step loop. Delta replay
+	// (delta.go) resumes a neighbor differing at node k from the anchor
+	// checkpoint at boundary firstUse[k]. fuBounds lists the distinct
+	// values ≥ 1 ascending — the only possible resume boundaries, and the
+	// points anchors checkpoint.
+	firstUse []int32
+	fuBounds []int32
+
+	// scratchPool and accPool recycle the per-Estimate replay scratch and
+	// series accumulators across the thousands of evaluations one solve
+	// performs; both hold state that is fully reset on reuse, so pooling
+	// cannot leak one plan's numbers into another's.
+	scratchPool sync.Pool
+	accPool     sync.Pool
 
 	// Per node (dense index).
 	cpuUtil  []float64
@@ -72,6 +96,9 @@ type Snapshot struct {
 	// the lazy failure of the Inputs path.
 	exec    [][]float64
 	execErr []error
+	// anyExecErr is true when at least one execErr entry is non-nil; the
+	// tape replay loop hoists the per-step error check behind it.
+	anyExecErr bool
 
 	// Per region.
 	kvAccess []float64
@@ -89,6 +116,12 @@ type Snapshot struct {
 	msgOverhead float64
 
 	intensity [][]float64 // [hour][region]
+	// txRF bakes the intensity-dependent half of the transmission-carbon
+	// model per hour: txRF[h][from*nR+to] = route(from,to) * factor(from,to)
+	// exactly as TransmissionModel.Carbon computes it, so a replay edge adds
+	// txRF * (bytes/1e9) — the reference's route*factor*gb grouping — without
+	// touching the intensity vectors.
+	txRF [][]float64 // [hour][from*nR+to]
 
 	tel mcTelemetry
 }
@@ -152,9 +185,12 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 	for h, u := range s.hourUnix {
 		s.hourSeed[h] = simclock.DeriveSeed(seed, fmt.Sprintf("mc/%s/%d", s.name, u)) //caribou:allow hotsprintf runs once per hour at snapshot compile, never in the sampling loop
 	}
+	s.soaTapes = true
 	s.SetTapes(true)
 
 	n := s.nodes.Len()
+	s.scratchPool.New = func() any { return newReplayScratch(n) }
+	s.accPool.New = func() any { return new(seriesAcc) }
 	startIdx, _ := s.nodes.Index(d.Start())
 	s.start = startIdx
 	s.cpuUtil = make([]float64, n)
@@ -194,12 +230,34 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 			dist, err := in.ExecDuration(id, s.regions[r])
 			if err != nil {
 				s.execErr[i*s.nR+r] = err
+				s.anyExecErr = true
 				continue
 			}
 			s.exec[i*s.nR+r] = dist.SortedValues()
 		}
 	}
 	s.entryBytes = in.EntryBytes().SortedValues()
+
+	s.firstUse = make([]int32, n)
+	for i := range s.firstUse {
+		s.firstUse[i] = int32(i)
+	}
+	s.firstUse[s.start] = -1
+	for p := 0; p < n; p++ {
+		for _, e := range s.outEdges[p] {
+			if !e.toSync && int32(p) < s.firstUse[e.to] {
+				s.firstUse[e.to] = int32(p)
+			}
+		}
+	}
+	seen := make(map[int32]bool, n)
+	for _, f := range s.firstUse {
+		if f >= 1 && !seen[f] {
+			seen[f] = true
+			s.fuBounds = append(s.fuBounds, f)
+		}
+	}
+	sort.Slice(s.fuBounds, func(a, b int) bool { return s.fuBounds[a] < s.fuBounds[b] })
 
 	book := in.CostBook()
 	s.kvAccess = make([]float64, s.nR)
@@ -253,6 +311,23 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 			s.intensity[h][r] = v
 		}
 	}
+	s.txRF = make([][]float64, len(s.hours))
+	for h := range s.hours {
+		rf := make([]float64, s.nR*s.nR)
+		inten := s.intensity[h]
+		for f := 0; f < s.nR; f++ {
+			for t := 0; t < s.nR; t++ {
+				factor := tx.InterRegionKWhPerGB
+				route := (inten[f] + inten[t]) / 2
+				if f == t {
+					factor = tx.IntraRegionKWhPerGB
+					route = inten[f]
+				}
+				rf[f*s.nR+t] = route * factor
+			}
+		}
+		s.txRF[h] = rf
+	}
 	return s, nil
 }
 
@@ -291,6 +366,35 @@ func (s *Snapshot) SetTapes(on bool) {
 		s.tapes = nil
 	}
 }
+
+// SetSoA selects the tape layout: true (the default) replays
+// structure-of-arrays columns, false the array-of-structs reference
+// records. Results are bit-identical either way (pinned by the tape
+// parity tests); the toggle exists for benchmarks and ablations. Tapes
+// already compiled in the other layout are dropped and recompiled
+// lazily. Like SetTapes, not safe to call concurrently with Estimate.
+func (s *Snapshot) SetSoA(on bool) {
+	if s.soaTapes == on {
+		return
+	}
+	s.soaTapes = on
+	if s.tapes != nil {
+		s.tapes = nil
+		s.SetTapes(true)
+	}
+}
+
+func (s *Snapshot) getScratch() *replayScratch { return s.scratchPool.Get().(*replayScratch) }
+
+func (s *Snapshot) putScratch(sc *replayScratch) { s.scratchPool.Put(sc) }
+
+func (s *Snapshot) getAcc() *seriesAcc {
+	a := s.accPool.Get().(*seriesAcc)
+	a.reset()
+	return a
+}
+
+func (s *Snapshot) putAcc(a *seriesAcc) { s.accPool.Put(a) }
 
 // HourTime returns the solve instant at hour index h.
 func (s *Snapshot) HourTime(h int) time.Time { return s.hours[h] }

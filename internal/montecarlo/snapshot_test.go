@@ -14,7 +14,11 @@ import (
 )
 
 // richInputs builds a workflow exercising every estimator code path:
-// conditional branches, a synchronization node, and terminal write-back.
+// conditional branches, synchronization nodes, and terminal write-back on
+// a node that is itself a sync node ("tail" has two predecessors and an
+// output distribution, like Text2Speech's final censoring stage) — the
+// combination carries both the sync and output step flags through the
+// tape compiler, so every parity test covers it.
 func richInputs(t *testing.T) *fakeInputs {
 	t.Helper()
 	d, err := dag.NewBuilder("rich").
@@ -28,6 +32,7 @@ func richInputs(t *testing.T) *fakeInputs {
 		AddEdge("left", "join").
 		AddEdge("right", "join").
 		AddEdge("join", "tail").
+		AddEdge("right", "tail").
 		Build()
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +46,7 @@ func richInputs(t *testing.T) *fakeInputs {
 		bytes: map[[2]dag.NodeID]float64{
 			{"start", "left"}: 2e6, {"start", "right"}: 1e6,
 			{"left", "join"}: 3e6, {"right", "join"}: 5e5,
+			{"right", "tail"}: 7e5,
 		},
 		probs:     map[[2]dag.NodeID]float64{{"start", "left"}: 0.7},
 		intensity: map[region.ID]float64{region.USEast1: 400, region.USWest2: 250, region.CACentral1: 35},

@@ -78,6 +78,13 @@ type tapeEdge struct {
 // Extensions append past every published header's length and publish a
 // new header, so a reader holding an old header only ever touches the
 // prefix that was complete when it loaded — no locking on the read side.
+//
+// Two layouts exist. The array-of-structs steps/edges slices are the
+// reference layout the compiler emits; with SoA replay enabled (the
+// default) the published header instead carries transposed dense columns
+// (soaCols) and leaves steps/edges nil. Both layouts replay bit-identically
+// (pinned by the tape parity tests); the column form exists because replay
+// is the solver's hot loop and streams far fewer bytes per step.
 type tapeData struct {
 	n         int       // samples compiled
 	entry     []float64 // per sample: entry payload incl. control bytes
@@ -85,16 +92,74 @@ type tapeData struct {
 	steps     []tapeStep
 	edges     []tapeEdge
 	skipSyncs []int32 // sync nodes advanced by skip propagations, in DFS order
+	soa       *soaCols
+}
+
+// soaCols is the structure-of-arrays layout of one compiled tape prefix:
+// one dense column per record field, plus per-(step, region) columns that
+// bake every plan-independent quantile and coefficient the replay loop
+// would otherwise recompute per candidate plan. Offsets are cumulative
+// (edges of step si span edgeOff[si:si+1], skip targets of edge ei span
+// skipOff[ei:ei+1]), which the compiler's contiguous emission order
+// guarantees. All float64 columns of one extension are carved from a
+// single arena block (see transposeSoA).
+type soaCols struct {
+	// Per step.
+	node    []int32
+	flags   []uint8
+	staged  []float64 // sync steps: staged bytes
+	out     []float64 // stepOutput steps: write-back bytes
+	edgeOff []int32   // len(node)+1
+	// Per (step, region) triples at (si*nR+r)*3: the resolved
+	// exec-duration quantile, the execution energy intermediate
+	// memKW·h+procKW·h of carbon.ExecutionCarbonFromFactors (so replay
+	// multiplies by intensity and PUE only), and the execution cost term
+	// (0 when the reference guard mem>=0 && dur>=0 fails — adding +0 to
+	// the non-negative cost accumulator is exact). Interleaving the three
+	// keeps a step's whole lookup on one cache line.
+	drc []float64
+	// aux9 holds the sync step's staged total divided by 1e9 (gigabytes).
+	// The quotient is plan-independent, and float division is the single
+	// longest-latency operation the replay loop would otherwise perform
+	// per step, so it is baked once at transpose time — same operands,
+	// same operation, bit-identical result.
+	aux9 []float64
+	// out9 is the output step's write-back draw divided by 1e9. It is a
+	// separate column from aux9 because a terminal sync node with an
+	// output distribution carries both flags and needs both quotients
+	// (e.g. Text2Speech's final censoring stage).
+	out9 []float64
+	// entry9 is the per-sample entry payload divided by 1e9.
+	entry9 []float64
+	// Per edge.
+	to      []int32
+	kind    []uint8
+	bytes   []float64
+	skipOff []int32 // len(to)+1, cumulative into tapeData.skipSyncs
+	// e9 is the edge's transmitted payload in gigabytes: bytes/1e9 for
+	// staging edges, (bytes+controlBytes)/1e9 for direct edges (the
+	// reference adds the control envelope before converting), 0 for skips.
+	e9 []float64
 }
 
 // hourTape owns one hour's lazily extended tape. The mutex serializes
 // extensions (the RNG stream must advance sequentially); readers load the
-// latest immutable prefix through the atomic pointer.
+// latest immutable prefix through the atomic pointer. ref is the growing
+// AoS master the compiler appends to; in SoA mode it stays private and
+// each extension is transposed into fresh column headers before
+// publication. The anchor fields cache one delta-replay anchor per hour
+// (delta.go), invalidated whenever the base plan changes.
 type hourTape struct {
 	mu   sync.Mutex
 	rng  *simclock.Rand // positioned after the last compiled sample
 	bld  *tapeBuilder
+	ref  *tapeData // AoS master; only published directly in AoS mode
 	data atomic.Pointer[tapeData]
+
+	// anchorMu serializes anchor recording (TryLock: contenders replay
+	// plain rather than queue); anchor publishes the result.
+	anchorMu sync.Mutex
+	anchor   atomic.Pointer[deltaAnchor]
 }
 
 // ensure returns a tape prefix holding at least n samples (capped at
@@ -108,24 +173,153 @@ func (t *hourTape) ensure(s *Snapshot, h, n int) *tapeData {
 	defer t.mu.Unlock()
 	d := t.data.Load()
 	if d == nil {
-		d = &tapeData{stepOff: []int32{0}}
 		t.rng = simclock.NewRand(s.hourSeed[h])
 		t.bld = newTapeBuilder(s.nodes.Len())
+		t.ref = &tapeData{stepOff: []int32{0}}
+		d = t.ref
 	}
 	if d.n >= n {
 		return d
 	}
-	nd := &tapeData{}
-	*nd = *d // share the compiled prefix; appends only extend past it
-	for nd.n < n && nd.n < MaxSamples {
+	ref := t.ref
+	oldSteps, oldEdges := len(ref.steps), len(ref.edges)
+	for ref.n < n && ref.n < MaxSamples {
 		for i := 0; i < BatchSize; i++ {
-			s.compileSample(t.bld, t.rng, nd)
+			s.compileSample(t.bld, t.rng, ref)
 		}
 		s.tel.tapeBatches.Inc()
 		s.tel.tapeSamples.Add(BatchSize)
 	}
+	nd := &tapeData{n: ref.n, entry: ref.entry, stepOff: ref.stepOff, skipSyncs: ref.skipSyncs}
+	if s.soaTapes {
+		nd.soa = s.transposeSoA(d.soa, ref, oldSteps, oldEdges)
+	} else {
+		nd.steps = ref.steps
+		nd.edges = ref.edges
+	}
 	t.data.Store(nd)
 	return nd
+}
+
+// transposeSoA extends the published columns with the AoS records the
+// compiler just appended (steps[oldSteps:], edges[oldEdges:]). Columns are
+// immutable once published: each extension allocates exact-size arrays —
+// every float64 column carved from one arena block per extension — copies
+// the prior prefix, and fills the new span, so readers holding an old
+// header never observe growth.
+func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges int) *soaCols {
+	nR := s.nR
+	nS, nE := len(ref.steps), len(ref.edges)
+	c := &soaCols{
+		node:    make([]int32, nS),
+		flags:   make([]uint8, nS),
+		edgeOff: make([]int32, nS+1),
+		to:      make([]int32, nE),
+		kind:    make([]uint8, nE),
+		skipOff: make([]int32, nE+1),
+	}
+	nSamp := ref.n
+	arena := make([]float64, nS*4+nE*2+nSamp+nS*nR*3)
+	c.staged, arena = arena[:nS:nS], arena[nS:]
+	c.out, arena = arena[:nS:nS], arena[nS:]
+	c.aux9, arena = arena[:nS:nS], arena[nS:]
+	c.out9, arena = arena[:nS:nS], arena[nS:]
+	c.bytes, arena = arena[:nE:nE], arena[nE:]
+	c.e9, arena = arena[:nE:nE], arena[nE:]
+	c.entry9, arena = arena[:nSamp:nSamp], arena[nSamp:]
+	c.drc = arena
+	if prev != nil {
+		copy(c.node, prev.node)
+		copy(c.flags, prev.flags)
+		copy(c.staged, prev.staged)
+		copy(c.out, prev.out)
+		copy(c.aux9, prev.aux9)
+		copy(c.out9, prev.out9)
+		copy(c.edgeOff, prev.edgeOff)
+		copy(c.drc, prev.drc)
+		copy(c.to, prev.to)
+		copy(c.kind, prev.kind)
+		copy(c.bytes, prev.bytes)
+		copy(c.e9, prev.e9)
+		copy(c.skipOff, prev.skipOff)
+		copy(c.entry9, prev.entry9)
+	}
+	oldSamp := 0
+	if prev != nil {
+		oldSamp = len(prev.entry9)
+	}
+	for i := oldSamp; i < nSamp; i++ {
+		c.entry9[i] = ref.entry[i] / 1e9
+	}
+	for i := oldSteps; i < nS; i++ {
+		st := &ref.steps[i]
+		c.node[i] = st.node
+		c.flags[i] = st.flags
+		c.staged[i] = st.staged
+		c.out[i] = st.out
+		if st.flags&stepSync != 0 {
+			c.aux9[i] = st.staged / 1e9
+		}
+		if st.flags&stepOutput != 0 {
+			c.out9[i] = st.out / 1e9
+		}
+		c.edgeOff[i] = st.edgeOff
+		s.bakeStepCols(int(st.node), st.u, c.drc[i*nR*3:(i+1)*nR*3])
+	}
+	c.edgeOff[nS] = int32(nE)
+	skips := int32(0)
+	if prev != nil {
+		skips = prev.skipOff[oldEdges]
+	}
+	for e := oldEdges; e < nE; e++ {
+		te := &ref.edges[e]
+		c.to[e] = te.to
+		c.kind[e] = te.kind
+		c.bytes[e] = te.bytes
+		switch te.kind {
+		case tapeEdgeStage:
+			c.e9[e] = te.bytes / 1e9
+		case tapeEdgeDirect:
+			// The reference adds the control envelope first, then
+			// converts: (bytes+controlBytes)/1e9 with that exact sum.
+			c.e9[e] = (te.bytes + controlBytes) / 1e9
+		}
+		c.skipOff[e] = skips
+		if te.kind == tapeEdgeSkip {
+			skips = te.skipEnd
+		}
+	}
+	c.skipOff[nE] = skips
+	return c
+}
+
+// bakeStepCols resolves one step's region-dependent terms for every
+// region into the interleaved drc triples: the duration quantile, the
+// energy intermediate of carbon.ExecutionCarbonFromFactors (its exact
+// parenthesized subterm, so intensity·kwh·PUE at replay reproduces the
+// reference bit for bit), and the guarded execution cost. Regions with a
+// deferred exec error keep zero columns — replay raises the error before
+// reading them.
+func (s *Snapshot) bakeStepCols(n int, u float64, drc []float64) {
+	nR := s.nR
+	mem := s.memoryMB[n]
+	memKW, procKW := s.execMemKW[n], s.execProcKW[n]
+	for r := 0; r < nR; r++ {
+		if s.execErr[n*nR+r] != nil {
+			continue
+		}
+		d := stats.SampleSorted(s.exec[n*nR+r], u)
+		drc[r*3] = d
+		cd := d
+		if cd < 0 {
+			cd = 0
+		}
+		hours := cd / 3600
+		drc[r*3+1] = memKW*hours + procKW*hours
+		if mem >= 0 && d >= 0 {
+			drc[r*3+2] = mem/1024*d*s.gbSecUSD[r] + s.reqUSD[r]
+		}
+	}
 }
 
 // tapeBuilder holds the plan-invariant scratch flags the compiler needs
@@ -255,63 +449,90 @@ func (b *tapeBuilder) propagateSkip(s *Snapshot, edge snapEdge, syncs []int32) [
 	return syncs
 }
 
-// replayScratch holds the region-dependent per-sample times. Epoch
-// stamping makes the per-sample reset O(1) instead of O(nodes): a slot
-// whose stamp is stale reads as the zero the reference path would see.
+// replayScratch holds the region-dependent per-sample times. Slots hold
+// real zeros between samples (reset is a pair of small memclears), so
+// every access is a plain indexed load/store with no per-access staleness
+// branch — measurably cheaper in the replay loop than the former epoch
+// stamping for the node counts real DAGs have.
 type replayScratch struct {
-	epoch  uint32
-	start  []float64
-	startE []uint32
-	ready  []float64
-	readyE []uint32
+	start []float64
+	ready []float64
 }
 
 func newReplayScratch(n int) *replayScratch {
 	return &replayScratch{
-		start:  make([]float64, n),
-		startE: make([]uint32, n),
-		ready:  make([]float64, n),
-		readyE: make([]uint32, n),
+		start: make([]float64, n),
+		ready: make([]float64, n),
 	}
 }
 
-func (sc *replayScratch) getStart(i int) float64 {
-	if sc.startE[i] != sc.epoch {
-		return 0
+// reset zeroes all slots, the state the reference path starts a sample
+// with. The fused loop stays an open-coded store sequence — a
+// single-slice clear loop would compile to a runtime memclr call, whose
+// fixed overhead dwarfs the handful of stores at real DAG sizes and
+// shows up at the hundreds of thousands of per-sample resets one solve
+// performs.
+func (sc *replayScratch) reset() {
+	st, rd := sc.start, sc.ready
+	for i := range st {
+		st[i] = 0
+		rd[i] = 0
 	}
-	return sc.start[i]
 }
 
-func (sc *replayScratch) setStart(i int, v float64) {
-	sc.start[i] = v
-	sc.startE[i] = sc.epoch
-}
+func (sc *replayScratch) getStart(i int) float64 { return sc.start[i] }
 
-func (sc *replayScratch) getReady(i int) float64 {
-	if sc.readyE[i] != sc.epoch {
-		return 0
-	}
-	return sc.ready[i]
-}
+func (sc *replayScratch) setStart(i int, v float64) { sc.start[i] = v }
 
-func (sc *replayScratch) setReady(i int, v float64) {
-	sc.ready[i] = v
-	sc.readyE[i] = sc.epoch
-}
+func (sc *replayScratch) getReady(i int) float64 { return sc.ready[i] }
+
+func (sc *replayScratch) setReady(i int, v float64) { sc.ready[i] = v }
 
 // estimateTaped mirrors estimateUntaped's batched stopping rule but
 // replays pre-compiled samples instead of drawing them, extending the
 // hour's shared tape only as far as this plan's convergence requires.
 func (s *Snapshot) estimateTaped(assign []int, h int) (*Estimate, error) {
 	t := s.tapes[h]
-	sc := newReplayScratch(s.nodes.Len())
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	inten := s.intensity[h]
-	var acc seriesAcc
+	acc := s.getAcc()
+	defer s.putAcc(acc)
+	var sc2 *replayScratch
+	defer func() {
+		if sc2 != nil {
+			s.putScratch(sc2)
+		}
+	}()
 	for acc.samples() < MaxSamples {
 		need := acc.samples() + BatchSize
 		td := t.ensure(s, h, need)
-		for i := acc.samples(); i < need; i++ {
-			smp, err := s.replaySample(td, i, assign, inten, sc)
+		i := acc.samples()
+		if td.soa != nil && !s.anyExecErr {
+			// Pairwise interleaved replay: two samples per iteration so
+			// their serial float chains overlap (see replaySoAPair). Only
+			// when no exec error can fire — error replays take the
+			// sequential path so failures surface at the reference step.
+			if sc2 == nil {
+				sc2 = s.getScratch()
+			}
+			for ; i+1 < need; i += 2 {
+				a, b, err := s.replaySoAPair(td, i, h, assign, sc, sc2)
+				if err != nil {
+					return nil, err
+				}
+				acc.add(a)
+				acc.add(b)
+			}
+		}
+		for ; i < need; i++ {
+			var smp sample
+			var err error
+			if td.soa != nil {
+				smp, err = s.replaySoA(td, i, h, assign, sc, nil)
+			} else {
+				smp, err = s.replaySample(td, i, assign, inten, sc)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -327,11 +548,464 @@ func (s *Snapshot) estimateTaped(assign []int, h int) (*Estimate, error) {
 	return acc.summarize()
 }
 
+// replaySoA evaluates recorded sample i against the column layout. The
+// arithmetic and its order match replaySample — and hence sampleOnce —
+// exactly; the duration quantile, energy intermediate, and execution cost
+// are read from the baked columns instead of being recomputed (identical
+// values by construction, see bakeStepCols). A non-nil rec captures
+// per-step checkpoints for delta replay (delta.go).
+func (s *Snapshot) replaySoA(td *tapeData, i, h int, assign []int, sc *replayScratch, rec *deltaAnchor) (sample, error) {
+	sc.reset()
+	var smp sample
+	home := s.home
+	nR := s.nR
+	rf := s.txRF[h]
+
+	entry := s.start
+	entryRegion := assign[entry]
+	entryBytes := td.entry[i]
+	smp.cost += s.dynReadUSD
+	smp.cost += s.snsUSD[home]
+	if entryBytes > 0 {
+		// txRF*entry9 is the reference's route*factor*(bytes/1e9) grouping
+		// with the quotient baked at transpose time.
+		q := td.soa.entry9[i]
+		smp.txCarbon += rf[home*nR+entryRegion] * q
+		smp.cost += q * s.egressPerGB[home*nR+entryRegion]
+	}
+	eb := entryBytes
+	if eb < 0 {
+		eb = 0
+	}
+	// Parenthesized so the transfer term is summed before being added to
+	// the access+overhead prefix, exactly as the reference's helper call.
+	sc.setStart(entry, s.kvAccess[home]+s.msgOverhead+(s.txBase[home*nR+entryRegion]+eb*s.txPerByte[home*nR+entryRegion]))
+
+	return s.runSoASteps(td, td.stepOff[i], td.stepOff[i+1], h, assign, sc, smp, rec)
+}
+
+// runSoASteps replays the step span [lo, hi) on top of smp and the
+// current scratch state. It is shared by full replay (span = whole
+// sample) and delta resume (span = the dirty suffix, state restored from
+// an anchor checkpoint). The body is deliberately closure-free — the
+// transfer-latency and transmission-carbon helpers of the reference path
+// are inlined against hoisted table slices — so the per-step accumulators
+// stay in registers; every addition still happens in the reference order.
+func (s *Snapshot) runSoASteps(td *tapeData, lo, hi int32, h int, assign []int, sc *replayScratch, smp sample, rec *deltaAnchor) (sample, error) {
+	c := td.soa
+	home := s.home
+	nR := s.nR
+	inten := s.intensity[h]
+	rf := s.txRF[h]
+	txBase, txPerByte := s.txBase, s.txPerByte
+	egress := s.egressPerGB
+	msgOverhead := s.msgOverhead
+	snsHome := s.snsUSD[home]
+	hasErr := s.anyExecErr
+	// Column headers hoisted into locals so the loop indexes registers
+	// instead of re-loading slice headers through the *soaCols pointer.
+	nodeC, flagsC, stagedC, outC, drcC, aux9C, out9C := c.node, c.flags, c.staged, c.out, c.drc, c.aux9, c.out9
+	edgeOffC, toC, kindC, bytesC, skipOffC, e9C := c.edgeOff, c.to, c.kind, c.bytes, c.skipOff, c.e9
+
+	for si := lo; si < hi; si++ {
+		n := int(nodeC[si])
+		if rec != nil {
+			// Checkpoint the state in force before this step executes;
+			// reading the step's node first does not alter it.
+			rec.record(si, int32(n), sc, &smp)
+		}
+		r := assign[n]
+		flags := flagsC[si]
+		var startN float64
+		if flags&stepSync != 0 {
+			staged := stagedC[si]
+			hr := home*nR + r
+			smp.cost += snsHome
+			smp.txCarbon += rf[hr] * (controlBytes / 1e9)
+			smp.cost += controlBytes / 1e9 * egress[hr]
+			arrive := sc.getReady(n) + msgOverhead + (txBase[hr] + controlBytes*txPerByte[hr])
+			ld := staged
+			if ld < 0 {
+				ld = 0
+			}
+			load := s.kvAccess[r] + (txBase[hr] + ld*txPerByte[hr])
+			smp.cost += s.dynReadUSD
+			if staged > 0 {
+				q := aux9C[si]
+				smp.txCarbon += rf[hr] * q
+				smp.cost += q * egress[hr]
+			}
+			startN = arrive + load
+		} else {
+			startN = sc.getStart(n)
+		}
+
+		if hasErr {
+			if err := s.execErr[n*nR+r]; err != nil {
+				return smp, err
+			}
+		}
+		base := (int(si)*nR + r) * 3
+		dur := drcC[base]
+		finish := startN + dur
+		if finish > smp.latency {
+			smp.latency = finish
+		}
+		smp.execCarbon += inten[r] * drcC[base+1] * carbon.PUE
+		smp.cost += drcC[base+2]
+
+		if flags&stepOutput != 0 {
+			out := outC[si]
+			if out > 0 {
+				q := out9C[si]
+				rh := r*nR + home
+				smp.txCarbon += rf[rh] * q
+				smp.cost += q * egress[rh]
+			}
+			continue
+		}
+		eHi := edgeOffC[si+1]
+		for ei := edgeOffC[si]; ei < eHi; ei++ {
+			to := int(toC[ei])
+			switch kindC[ei] {
+			case tapeEdgeSkip:
+				for k := skipOffC[ei]; k < skipOffC[ei+1]; k++ {
+					sn := int(td.skipSyncs[k])
+					if finish > sc.getReady(sn) {
+						sc.setReady(sn, finish)
+					}
+				}
+				smp.cost += s.dynWriteUSD // skip annotation
+			case tapeEdgeStage:
+				b := bytesC[ei]
+				rh := r*nR + home
+				smp.cost += s.dynWriteUSD
+				smp.cost += s.dynWriteUSD
+				tb := b
+				if tb < 0 {
+					tb = 0
+				}
+				if b > 0 {
+					q := e9C[ei]
+					smp.txCarbon += rf[rh] * q
+					smp.cost += q * egress[rh]
+				}
+				ready := finish + (txBase[rh] + tb*txPerByte[rh]) + s.kvAccess[r]
+				if ready > sc.getReady(to) {
+					sc.setReady(to, ready)
+				}
+			case tapeEdgeDirect:
+				smp.cost += s.snsUSD[r]
+				total := bytesC[ei] + controlBytes
+				rt := r*nR + assign[to]
+				if total > 0 {
+					q := e9C[ei]
+					smp.txCarbon += rf[rt] * q
+					smp.cost += q * egress[rt]
+				}
+				tb := total
+				if tb < 0 {
+					tb = 0
+				}
+				arrive := finish + msgOverhead + (txBase[rt] + tb*txPerByte[rt])
+				if arrive > sc.getStart(to) {
+					sc.setStart(to, arrive)
+				}
+			}
+		}
+	}
+	return smp, nil
+}
+
+// replaySoAPair replays recorded samples i and i+1 together, executing one
+// step of each per loop iteration. Every addition, comparison, and their
+// order within each sample is exactly replaySoA's — the two samples are
+// data-independent, so interleaving their instruction streams changes no
+// result bit. It exists because the replay loop is bound by the latency of
+// its serial accumulator chains, not by issue width; overlapping two
+// independent chains recovers much of the stalled pipeline. Tails beyond
+// the common step count drain through runSoASteps. Callers must guarantee
+// no exec errors exist (s.anyExecErr false): the pair body omits the
+// per-step error check, so error surfacing stays on the sequential path.
+func (s *Snapshot) replaySoAPair(td *tapeData, i, h int, assign []int, scA, scB *replayScratch) (sample, sample, error) {
+	scA.reset()
+	scB.reset()
+	var smpA, smpB sample
+	home := s.home
+	nR := s.nR
+	rf := s.txRF[h]
+	txBase, txPerByte := s.txBase, s.txPerByte
+	egress := s.egressPerGB
+	msgOverhead := s.msgOverhead
+	snsHome := s.snsUSD[home]
+	kvAccess := s.kvAccess
+	dynRead := s.dynReadUSD
+	c := td.soa
+
+	entry := s.start
+	entryRegion := assign[entry]
+	he := home*nR + entryRegion
+	entryA, entryB := td.entry[i], td.entry[i+1]
+	smpA.cost += dynRead
+	smpA.cost += snsHome
+	smpB.cost += dynRead
+	smpB.cost += snsHome
+	if entryA > 0 {
+		q := c.entry9[i]
+		smpA.txCarbon += rf[he] * q
+		smpA.cost += q * egress[he]
+	}
+	if entryB > 0 {
+		q := c.entry9[i+1]
+		smpB.txCarbon += rf[he] * q
+		smpB.cost += q * egress[he]
+	}
+	ebA, ebB := entryA, entryB
+	if ebA < 0 {
+		ebA = 0
+	}
+	if ebB < 0 {
+		ebB = 0
+	}
+	scA.setStart(entry, kvAccess[home]+msgOverhead+(txBase[he]+ebA*txPerByte[he]))
+	scB.setStart(entry, kvAccess[home]+msgOverhead+(txBase[he]+ebB*txPerByte[he]))
+
+	return s.runSoAStepsPair(td, td.stepOff[i], td.stepOff[i+1], td.stepOff[i+1], td.stepOff[i+2], h, assign, scA, scB, smpA, smpB)
+}
+
+// runSoAStepsPair is runSoASteps for two independent spans at once: one
+// step of each per iteration, each span's arithmetic in exactly the
+// sequential order. Shared by pair replay (full spans) and pair resume
+// (dirty suffixes). Tails beyond the common step count drain through
+// runSoASteps. Callers must guarantee no exec errors exist.
+func (s *Snapshot) runSoAStepsPair(td *tapeData, siA, hiA, siB, hiB int32, h int, assign []int, scA, scB *replayScratch, smpA, smpB sample) (sample, sample, error) {
+	home := s.home
+	nR := s.nR
+	inten := s.intensity[h]
+	rf := s.txRF[h]
+	txBase, txPerByte := s.txBase, s.txPerByte
+	egress := s.egressPerGB
+	msgOverhead := s.msgOverhead
+	snsHome := s.snsUSD[home]
+	kvAccess := s.kvAccess
+	dynRead, dynWrite := s.dynReadUSD, s.dynWriteUSD
+	snsUSD := s.snsUSD
+	c := td.soa
+	nodeC, flagsC, stagedC, outC, drcC, aux9C, out9C := c.node, c.flags, c.staged, c.out, c.drc, c.aux9, c.out9
+	edgeOffC, toC, kindC, bytesC, skipOffC, e9C := c.edgeOff, c.to, c.kind, c.bytes, c.skipOff, c.e9
+	skipS := td.skipSyncs
+
+	for siA < hiA && siB < hiB {
+		{ // one step of sample A
+			n := int(nodeC[siA])
+			r := assign[n]
+			flags := flagsC[siA]
+			var startN float64
+			if flags&stepSync != 0 {
+				staged := stagedC[siA]
+				hr := home*nR + r
+				smpA.cost += snsHome
+				smpA.txCarbon += rf[hr] * (controlBytes / 1e9)
+				smpA.cost += controlBytes / 1e9 * egress[hr]
+				arrive := scA.getReady(n) + msgOverhead + (txBase[hr] + controlBytes*txPerByte[hr])
+				ld := staged
+				if ld < 0 {
+					ld = 0
+				}
+				load := kvAccess[r] + (txBase[hr] + ld*txPerByte[hr])
+				smpA.cost += dynRead
+				if staged > 0 {
+					q := aux9C[siA]
+					smpA.txCarbon += rf[hr] * q
+					smpA.cost += q * egress[hr]
+				}
+				startN = arrive + load
+			} else {
+				startN = scA.getStart(n)
+			}
+			base := (int(siA)*nR + r) * 3
+			finish := startN + drcC[base]
+			if finish > smpA.latency {
+				smpA.latency = finish
+			}
+			smpA.execCarbon += inten[r] * drcC[base+1] * carbon.PUE
+			smpA.cost += drcC[base+2]
+			if flags&stepOutput != 0 {
+				out := outC[siA]
+				if out > 0 {
+					q := out9C[siA]
+					rh := r*nR + home
+					smpA.txCarbon += rf[rh] * q
+					smpA.cost += q * egress[rh]
+				}
+			} else {
+				eHi := edgeOffC[siA+1]
+				for ei := edgeOffC[siA]; ei < eHi; ei++ {
+					to := int(toC[ei])
+					switch kindC[ei] {
+					case tapeEdgeSkip:
+						for k := skipOffC[ei]; k < skipOffC[ei+1]; k++ {
+							sn := int(skipS[k])
+							if finish > scA.getReady(sn) {
+								scA.setReady(sn, finish)
+							}
+						}
+						smpA.cost += dynWrite // skip annotation
+					case tapeEdgeStage:
+						b := bytesC[ei]
+						rh := r*nR + home
+						smpA.cost += dynWrite
+						smpA.cost += dynWrite
+						tb := b
+						if tb < 0 {
+							tb = 0
+						}
+						if b > 0 {
+							q := e9C[ei]
+							smpA.txCarbon += rf[rh] * q
+							smpA.cost += q * egress[rh]
+						}
+						ready := finish + (txBase[rh] + tb*txPerByte[rh]) + kvAccess[r]
+						if ready > scA.getReady(to) {
+							scA.setReady(to, ready)
+						}
+					case tapeEdgeDirect:
+						smpA.cost += snsUSD[r]
+						total := bytesC[ei] + controlBytes
+						rt := r*nR + assign[to]
+						if total > 0 {
+							q := e9C[ei]
+							smpA.txCarbon += rf[rt] * q
+							smpA.cost += q * egress[rt]
+						}
+						tb := total
+						if tb < 0 {
+							tb = 0
+						}
+						arrive := finish + msgOverhead + (txBase[rt] + tb*txPerByte[rt])
+						if arrive > scA.getStart(to) {
+							scA.setStart(to, arrive)
+						}
+					}
+				}
+			}
+			siA++
+		}
+		{ // one step of sample B — mirror of the block above
+			n := int(nodeC[siB])
+			r := assign[n]
+			flags := flagsC[siB]
+			var startN float64
+			if flags&stepSync != 0 {
+				staged := stagedC[siB]
+				hr := home*nR + r
+				smpB.cost += snsHome
+				smpB.txCarbon += rf[hr] * (controlBytes / 1e9)
+				smpB.cost += controlBytes / 1e9 * egress[hr]
+				arrive := scB.getReady(n) + msgOverhead + (txBase[hr] + controlBytes*txPerByte[hr])
+				ld := staged
+				if ld < 0 {
+					ld = 0
+				}
+				load := kvAccess[r] + (txBase[hr] + ld*txPerByte[hr])
+				smpB.cost += dynRead
+				if staged > 0 {
+					q := aux9C[siB]
+					smpB.txCarbon += rf[hr] * q
+					smpB.cost += q * egress[hr]
+				}
+				startN = arrive + load
+			} else {
+				startN = scB.getStart(n)
+			}
+			base := (int(siB)*nR + r) * 3
+			finish := startN + drcC[base]
+			if finish > smpB.latency {
+				smpB.latency = finish
+			}
+			smpB.execCarbon += inten[r] * drcC[base+1] * carbon.PUE
+			smpB.cost += drcC[base+2]
+			if flags&stepOutput != 0 {
+				out := outC[siB]
+				if out > 0 {
+					q := out9C[siB]
+					rh := r*nR + home
+					smpB.txCarbon += rf[rh] * q
+					smpB.cost += q * egress[rh]
+				}
+			} else {
+				eHi := edgeOffC[siB+1]
+				for ei := edgeOffC[siB]; ei < eHi; ei++ {
+					to := int(toC[ei])
+					switch kindC[ei] {
+					case tapeEdgeSkip:
+						for k := skipOffC[ei]; k < skipOffC[ei+1]; k++ {
+							sn := int(skipS[k])
+							if finish > scB.getReady(sn) {
+								scB.setReady(sn, finish)
+							}
+						}
+						smpB.cost += dynWrite // skip annotation
+					case tapeEdgeStage:
+						b := bytesC[ei]
+						rh := r*nR + home
+						smpB.cost += dynWrite
+						smpB.cost += dynWrite
+						tb := b
+						if tb < 0 {
+							tb = 0
+						}
+						if b > 0 {
+							q := e9C[ei]
+							smpB.txCarbon += rf[rh] * q
+							smpB.cost += q * egress[rh]
+						}
+						ready := finish + (txBase[rh] + tb*txPerByte[rh]) + kvAccess[r]
+						if ready > scB.getReady(to) {
+							scB.setReady(to, ready)
+						}
+					case tapeEdgeDirect:
+						smpB.cost += snsUSD[r]
+						total := bytesC[ei] + controlBytes
+						rt := r*nR + assign[to]
+						if total > 0 {
+							q := e9C[ei]
+							smpB.txCarbon += rf[rt] * q
+							smpB.cost += q * egress[rt]
+						}
+						tb := total
+						if tb < 0 {
+							tb = 0
+						}
+						arrive := finish + msgOverhead + (txBase[rt] + tb*txPerByte[rt])
+						if arrive > scB.getStart(to) {
+							scB.setStart(to, arrive)
+						}
+					}
+				}
+			}
+			siB++
+		}
+	}
+	var err error
+	if siA < hiA {
+		if smpA, err = s.runSoASteps(td, siA, hiA, h, assign, scA, smpA, nil); err != nil {
+			return smpA, smpB, err
+		}
+	}
+	if siB < hiB {
+		if smpB, err = s.runSoASteps(td, siB, hiB, h, assign, scB, smpB, nil); err != nil {
+			return smpA, smpB, err
+		}
+	}
+	return smpA, smpB, nil
+}
+
 // replaySample evaluates recorded sample i under the dense assignment.
 // The arithmetic — every addition, comparison, and their order — matches
 // sampleOnce exactly; only the draws are read from the tape.
 func (s *Snapshot) replaySample(td *tapeData, i int, assign []int, inten []float64, sc *replayScratch) (sample, error) {
-	sc.epoch++
+	sc.reset()
 	var smp sample
 	home := s.home
 	nR := s.nR

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"testing"
@@ -65,6 +66,50 @@ func TestSolveHourlyDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	eightPlans, eightRes := solveWith(t, 8)
 	runtime.GOMAXPROCS(prev)
 	assertIdenticalSolves(t, onePlans, eightPlans, oneRes, eightRes)
+}
+
+// TestSolveDeterministicAcrossEvalModes is the PR-wide bit-identity grid:
+// worker counts 1 and 8 crossed with delta replay on/off and the SoA tape
+// layout on/off (the Config escape hatches) must all produce exactly the
+// same 24 hourly plans and bit-identical estimates. Delta replay resumes
+// cached prefixes and SoA replays transposed columns — both are defined
+// as pure reorganizations of the reference arithmetic, and this test is
+// the contract.
+func TestSolveDeterministicAcrossEvalModes(t *testing.T) {
+	in := chainInputs(t, 6)
+	solve := func(workers int, nodelta, nosoa bool) (dag.HourlyPlans, []Result) {
+		s, err := New(Config{
+			Inputs:      in,
+			Estimator:   montecarlo.New(in, carbon.BestCase(), 42),
+			Objective:   Objective{Priority: PriorityCarbon, Tolerances: Tolerances{Latency: Tol(50)}},
+			Seed:        42,
+			Workers:     workers,
+			NoDeltaEval: nodelta,
+			NoSoATape:   nosoa,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans, results, err := s.SolveHourly(t0, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plans, results
+	}
+	refPlans, refRes := solve(1, false, false)
+	for _, workers := range []int{1, 8} {
+		for _, nodelta := range []bool{false, true} {
+			for _, nosoa := range []bool{false, true} {
+				if workers == 1 && !nodelta && !nosoa {
+					continue
+				}
+				plans, res := solve(workers, nodelta, nosoa)
+				t.Run(fmt.Sprintf("workers=%d_nodelta=%v_nosoa=%v", workers, nodelta, nosoa), func(t *testing.T) {
+					assertIdenticalSolves(t, refPlans, plans, refRes, res)
+				})
+			}
+		}
+	}
 }
 
 // TestParallelSolveOneMatchesSerial covers the single-instant entry point

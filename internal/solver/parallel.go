@@ -30,6 +30,12 @@ type search struct {
 	elig  [][]int // per dense node index: eligible region indices
 	space int64
 
+	// delta routes HBSS neighbor evaluations through
+	// montecarlo.EstimateDelta anchored at the round's incumbent plan;
+	// disabled by Config.NoDeltaEval and implied off by NoSoATape and
+	// UntapedEstimates (delta replay resumes SoA tape checkpoints).
+	delta bool
+
 	mu    sync.Mutex
 	cache map[memoKey]*montecarlo.Estimate
 
@@ -78,6 +84,7 @@ func (s *Solver) newSearch(hours []time.Time, now time.Time) (*search, error) {
 	// shared — read-only after each extension — by every estimate this
 	// search performs: HBSS rounds, exhaustive enumeration, the coarse
 	// baseline, and all hourly solves.
+	snap.SetSoA(!s.nosoa)
 	snap.SetTapes(!s.untaped)
 	elig := make([][]int, len(s.order))
 	for i, n := range s.order {
@@ -94,6 +101,7 @@ func (s *Solver) newSearch(hours []time.Time, now time.Time) (*search, error) {
 		snap:  snap,
 		elig:  elig,
 		space: s.searchSpace(),
+		delta: !s.nodelta && !s.nosoa && !s.untaped,
 		cache: make(map[memoKey]*montecarlo.Estimate),
 		sem:   make(chan struct{}, s.workers),
 	}, nil
@@ -114,6 +122,16 @@ func (c *search) estimate(assign []int, h int) (*montecarlo.Estimate, error) {
 // semaphore — then memoized. Errors surface in first-assignment order so
 // failure behaviour is as deterministic as success.
 func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error) {
+	return c.evalAllFrom(nil, nil, assigns, h)
+}
+
+// evalAllFrom is evalAll with an optional evaluation anchor: when delta
+// replay is enabled and a base plan (with its estimate) is supplied,
+// cache misses are computed via EstimateDelta against it instead of a
+// full Estimate. Delta results are bit-identical to full replay (pinned
+// by the montecarlo delta parity tests), so memo entries stay
+// interchangeable regardless of which path produced them.
+func (c *search) evalAllFrom(baseAssign []int, baseEst *montecarlo.Estimate, assigns [][]int, h int) ([]*montecarlo.Estimate, error) {
 	out := make([]*montecarlo.Estimate, len(assigns))
 	keys := make([]string, len(assigns))
 	type job struct {
@@ -144,11 +162,17 @@ func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error)
 		return out, nil
 	}
 
+	eval := func(a []int) (*montecarlo.Estimate, error) {
+		if c.delta && baseAssign != nil {
+			return c.snap.EstimateDelta(baseEst, baseAssign, a, h)
+		}
+		return c.snap.Estimate(a, h)
+	}
 	ests := make([]*montecarlo.Estimate, len(jobs))
 	errs := make([]error, len(jobs))
 	if c.s.workers <= 1 || len(jobs) == 1 {
 		for j := range jobs {
-			ests[j], errs[j] = c.snap.Estimate(jobs[j].assign, h)
+			ests[j], errs[j] = eval(jobs[j].assign)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -157,7 +181,7 @@ func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error)
 			go func(j int) {
 				defer wg.Done()
 				c.sem <- struct{}{}
-				ests[j], errs[j] = c.snap.Estimate(jobs[j].assign, h)
+				ests[j], errs[j] = eval(jobs[j].assign)
 				<-c.sem
 			}(j)
 		}

@@ -101,7 +101,39 @@ type Config struct {
 	// Results are bit-identical either way (asserted by the tape parity
 	// tests); the switch exists for benchmarks and ablations.
 	UntapedEstimates bool
+	// NoDeltaEval routes HBSS neighbor evaluations through full tape
+	// replay instead of delta replay anchored at the incumbent plan.
+	// Results are bit-identical either way (asserted by the solver mode
+	// grid tests); the switch exists for benchmarks and ablations.
+	NoDeltaEval bool
+	// NoSoATape keeps sample tapes in the array-of-structs reference
+	// layout instead of the structure-of-arrays columns. Bit-identical
+	// either way; delta replay requires the column layout, so this also
+	// implies full replay for neighbor evaluations.
+	NoSoATape bool
 }
+
+// EvalModes bundles the evaluation-path escape hatches
+// (UntapedEstimates, NoDeltaEval, NoSoATape) so process-level tooling —
+// caribou-eval's -eval-mode flag — can route every solve in a run
+// through a reference path without threading new fields through each
+// experiment constructor. All modes are bit-identical by construction;
+// see DESIGN.md "SoA tape layout & delta replay".
+type EvalModes struct {
+	UntapedEstimates bool
+	NoDeltaEval      bool
+	NoSoATape        bool
+}
+
+// defaultEvalModes is ORed into the Config flags of every Solver built
+// afterwards. Written once at process start (before any solver exists),
+// read by New; deliberately not synchronized.
+var defaultEvalModes EvalModes
+
+// SetDefaultEvalModes selects the evaluation path for all subsequently
+// constructed Solvers. Call once at process start, before building any
+// environment; per-Config flags still apply on top.
+func SetDefaultEvalModes(m EvalModes) { defaultEvalModes = m }
 
 // Solver searches deployment plans.
 type Solver struct {
@@ -118,6 +150,8 @@ type Solver struct {
 	maxIter  int
 	workers  int
 	untaped  bool
+	nodelta  bool
+	nosoa    bool
 
 	tel solverTelemetry
 }
@@ -193,7 +227,9 @@ func New(cfg Config) (*Solver, error) {
 		eligible: make(map[dag.NodeID][]region.ID, d.Len()),
 		maxIter:  cfg.MaxIterations,
 		workers:  workers,
-		untaped:  cfg.UntapedEstimates,
+		untaped:  cfg.UntapedEstimates || defaultEvalModes.UntapedEstimates,
+		nodelta:  cfg.NoDeltaEval || defaultEvalModes.NoDeltaEval,
+		nosoa:    cfg.NoSoATape || defaultEvalModes.NoSoATape,
 		tel:      newSolverTelemetry(),
 	}
 	for _, n := range s.order {

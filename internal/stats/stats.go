@@ -43,6 +43,26 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// MeanVariance returns Mean(xs) and Variance(xs) in two passes instead of
+// the three a separate Mean+Variance call pair costs. The arithmetic is
+// identical — Variance's internal mean is the same value — so results are
+// bit-equal to calling both functions.
+func MeanVariance(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return mean, sum / float64(len(xs))
+}
+
 // CoefficientOfVariation returns stddev/|mean|. It returns +Inf when the
 // mean is zero and samples vary, and 0 for constant or empty input. The
 // Monte Carlo estimator's stopping rule (§7.1) is defined on this value.
@@ -76,8 +96,22 @@ func GeometricMean(xs []float64) (float64, error) {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. xs need not be sorted.
+// interpolation between closest ranks. xs need not be sorted and is left
+// untouched.
 func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	work := append([]float64(nil), xs...)
+	return PercentileInPlace(work, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it may
+// partially reorder xs (the selection step). Order statistics are exact
+// values, so results are identical to Percentile; callers that are done
+// reading the series in order — such as the Monte Carlo summarizer —
+// use it to keep the copy off the estimate hot path.
+func PercentileInPlace(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
@@ -87,21 +121,38 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if p > 100 {
 		p = 100
 	}
-	work := append([]float64(nil), xs...)
+	work := xs
 	if len(work) == 1 {
 		return work[0], nil
 	}
+	rank := p / 100 * float64(len(work)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	frac := rank - float64(lo)
 	for _, v := range work {
 		if math.IsNaN(v) {
 			// Selection with < would misplace NaNs; keep the legacy
 			// total order (sort.Float64s places NaNs first) exactly.
 			sort.Float64s(work)
-			break
+			if lo == hi {
+				return work[lo], nil
+			}
+			return work[lo]*(1-frac) + work[hi]*frac, nil
 		}
 	}
-	rank := p / 100 * float64(len(work)-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
+	// High percentiles need only the tail order statistics: ranks lo and
+	// lo+1 of n are the (n-lo)-th and (n-lo-1)-th largest. When that tail
+	// is small — p95 of a 200-sample Monte Carlo batch needs just the 11
+	// largest — a single scan with a bounded sorted tail is several times
+	// cheaper than quickselect partitioning and mutates nothing. Order
+	// statistics are exact values, so the result is bit-identical.
+	if m := len(work) - lo; m <= 24 && m >= 2 {
+		vlo, vhi := tailStats(work, m)
+		if lo == hi {
+			return vlo, nil
+		}
+		return vlo*(1-frac) + vhi*frac, nil
+	}
 	selectKth(work, lo)
 	if lo == hi {
 		return work[lo], nil
@@ -114,8 +165,37 @@ func Percentile(xs []float64, p float64) (float64, error) {
 			next = v
 		}
 	}
-	frac := rank - float64(lo)
 	return work[lo]*(1-frac) + next*frac, nil
+}
+
+// tailStats returns the m-th and (m-1)-th largest elements of xs (the
+// order statistics at ranks len(xs)-m and len(xs)-m+1). It keeps the m
+// largest values seen so far in an ascending scratch array: most scanned
+// elements fail the single tail[0] comparison, so the expected cost is
+// one compare per element plus O(m log(n/m)) insertions. Requires
+// 2 <= m <= len(xs) and NaN-free input (callers pre-sort NaN batches).
+func tailStats(xs []float64, m int) (float64, float64) {
+	var buf [24]float64
+	tail := buf[:m]
+	copy(tail, xs[:m])
+	// Insertion sort of the first m values.
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && tail[j] < tail[j-1]; j-- {
+			tail[j], tail[j-1] = tail[j-1], tail[j]
+		}
+	}
+	for _, v := range xs[m:] {
+		if v <= tail[0] {
+			continue
+		}
+		j := 1
+		for j < m && tail[j] < v {
+			tail[j-1] = tail[j]
+			j++
+		}
+		tail[j-1] = v
+	}
+	return tail[0], tail[1]
 }
 
 // selectKth partially orders a in place so a[k] holds the k-th smallest
