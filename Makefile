@@ -48,14 +48,16 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
 # bench-json times the tracked solver/tape benchmarks and merges the
-# ns/op numbers into BENCH_PR6.json under $(LABEL) (see cmd/benchjson;
+# ns/op numbers into BENCH_PR7.json under $(LABEL) (see cmd/benchjson;
 # existing labels such as "baseline" are preserved). Run on an otherwise
-# idle machine for stable numbers.
+# idle machine for stable numbers. Compare the two sections afterwards
+# with `go run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR7.json`,
+# which flags any >5% regression and exits non-zero.
 LABEL ?= after
-BENCHES = BenchmarkSolver24Hourly$$|BenchmarkSolver24HourlyUntaped$$|BenchmarkFig7Parallel$$|BenchmarkSnapshotEstimateTaped$$|BenchmarkSnapshotEstimateUntaped$$
+BENCHES = BenchmarkSolver24Hourly$$|BenchmarkSolver24HourlyUntaped$$|BenchmarkSolver24HourlyNoBatch$$|BenchmarkFig7Parallel$$|BenchmarkSnapshotEstimateTaped$$|BenchmarkSnapshotEstimateUntaped$$|BenchmarkSnapshotEstimateBatch$$
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCHES)' -benchtime 3x . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR6.json -label $(LABEL)
+		| $(GO) run ./cmd/benchjson -out BENCH_PR7.json -label $(LABEL)
 
 # verify is the pre-merge gate: full build + full suite + race-checked
 # solver/montecarlo/telemetry/eval-pool + vet + the determinism lint.

@@ -383,6 +383,34 @@ func BenchmarkSolver24HourlyUntaped(b *testing.B) {
 	}
 }
 
+// BenchmarkSolver24HourlyNoBatch is the daily plan generation with the
+// batched sweep and exact pruning disabled: candidates evaluate one at a
+// time (still taped, still delta-resumed). The gap to
+// BenchmarkSolver24Hourly is the batching + pruning speedup; results are
+// bit-identical either way (see TestSolveDeterministicAcrossEvalModes).
+func BenchmarkSolver24HourlyNoBatch(b *testing.B) {
+	mm, est := benchInputs(b)
+	s, err := solver.New(solver.Config{
+		Inputs: mm, Estimator: est,
+		Objective: solver.Objective{
+			Priority:   solver.PriorityCarbon,
+			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+		},
+		Seed:        1,
+		NoBatchEval: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := benchStart.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSnapshotAssign compiles a 24-hour snapshot of the learned inputs
 // and returns it with the home assignment, for the estimate micro-pair.
 func benchSnapshotAssign(b *testing.B) (*montecarlo.Snapshot, []int) {
@@ -418,12 +446,47 @@ func BenchmarkSnapshotEstimateTaped(b *testing.B) {
 
 // BenchmarkSnapshotEstimateUntaped is the reference draw-per-sample
 // evaluation on the same snapshot — the per-estimate cost the tape
-// amortizes away.
+// amortizes away. The warm-up call mirrors the taped bench so the loop
+// measures the steady state (scratch and accumulator pools populated),
+// not first-call allocation.
 func BenchmarkSnapshotEstimateUntaped(b *testing.B) {
 	snap, assign := benchSnapshotAssign(b)
+	if _, err := snap.EstimateUntaped(assign, 0); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := snap.EstimateUntaped(assign, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// batchBenchAssigns perturbs the home assignment into k distinct
+// candidate plans — the shape of one HBSS evaluation round.
+func batchBenchAssigns(snap *montecarlo.Snapshot, home []int, k int) [][]int {
+	assigns := make([][]int, k)
+	for i := range assigns {
+		a := append([]int(nil), home...)
+		a[i%len(a)] = (a[i%len(a)] + 1 + i/len(a)) % snap.Regions()
+		assigns[i] = a
+	}
+	return assigns
+}
+
+// BenchmarkSnapshotEstimateBatch measures one shared sweep over 16
+// candidate plans (the HBSS round size): per-plan cost should land well
+// under BenchmarkSnapshotEstimateTaped because plan-independent column
+// loads are fetched once and reused across all lanes.
+func BenchmarkSnapshotEstimateBatch(b *testing.B) {
+	snap, home := benchSnapshotAssign(b)
+	assigns := batchBenchAssigns(snap, home, 16)
+	if _, err := snap.EstimateBatch(assigns, 0, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.EstimateBatch(assigns, 0, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

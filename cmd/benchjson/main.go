@@ -8,6 +8,15 @@
 // section captured before a change survives later "after" runs. The
 // GOMAXPROCS suffix Go appends to benchmark names (e.g. "-8") is
 // stripped so results from different hosts share keys.
+//
+// With -compare, benchjson reads no stdin and instead diffs two result
+// files (which may be the same file twice, holding both labels):
+//
+//	go run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR7.json
+//
+// It prints the speedup ratio per benchmark, flags every slowdown worse
+// than 5% as a REGRESSION, and exits non-zero when any is found — so CI
+// can gate on it directly.
 package main
 
 import (
@@ -23,10 +32,32 @@ import (
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([\d.]+) ns/op`)
 
+// regressionTolerance is the relative slowdown -compare flags: an "after"
+// time more than 5% above its baseline is a regression.
+const regressionTolerance = 0.05
+
 func main() {
 	out := flag.String("out", "BENCH.json", "JSON file to create or merge into")
 	label := flag.String("label", "after", "top-level key for this run's numbers")
+	compare := flag.Bool("compare", false, "compare two result files given as positional args instead of merging stdin")
+	baseLabel := flag.String("baseline-label", "baseline", "label to read from the first -compare file")
+	afterLabel := flag.String("after-label", "after", "label to read from the second -compare file")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: baseline.json after.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *baseLabel, *afterLabel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *label); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -86,4 +117,80 @@ func run(out, label string) error {
 		fmt.Printf("%s: %s = %.0f ns/op\n", label, name, results[name])
 	}
 	return nil
+}
+
+// loadLabel reads one benchmark section from a result file: the named
+// label when present, or the file's only label as a fallback (so plain
+// single-section files work without flags).
+func loadLabel(path, label string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	all := map[string]map[string]float64{}
+	if err := json.Unmarshal(buf, &all); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if m, ok := all[label]; ok {
+		return m, nil
+	}
+	if len(all) == 1 {
+		for _, m := range all {
+			return m, nil
+		}
+	}
+	var labels []string
+	for k := range all {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	return nil, fmt.Errorf("%s: no %q section (have %v)", path, label, labels)
+}
+
+// runCompare prints per-benchmark speedup ratios between two result
+// files and reports whether any benchmark regressed by more than the
+// tolerance. Benchmarks present on only one side are listed but never
+// counted as regressions.
+func runCompare(basePath, afterPath, baseLabel, afterLabel string) (regressed bool, err error) {
+	base, err := loadLabel(basePath, baseLabel)
+	if err != nil {
+		return false, err
+	}
+	after, err := loadLabel(afterPath, afterLabel)
+	if err != nil {
+		return false, err
+	}
+	names := map[string]bool{}
+	for name := range base {
+		names[name] = true
+	}
+	for name := range after {
+		names[name] = true
+	}
+	var sorted []string
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		b, inBase := base[name]
+		a, inAfter := after[name]
+		switch {
+		case !inBase:
+			fmt.Printf("%-44s (no baseline)          after %12.0f ns/op\n", name, a)
+		case !inAfter:
+			fmt.Printf("%-44s baseline %12.0f ns/op (no after)\n", name, b)
+		case a <= 0 || b <= 0:
+			fmt.Printf("%-44s unusable timing (baseline %g, after %g)\n", name, b, a)
+		default:
+			ratio := b / a
+			line := fmt.Sprintf("%-44s %12.0f → %12.0f ns/op  %5.2fx", name, b, a, ratio)
+			if a > b*(1+regressionTolerance) {
+				line += fmt.Sprintf("  REGRESSION (+%.1f%%)", (a/b-1)*100)
+				regressed = true
+			}
+			fmt.Println(line)
+		}
+	}
+	return regressed, nil
 }

@@ -102,19 +102,28 @@ type mcTelemetry struct {
 	deltaAnchors   *telemetry.Counter
 	deltaResumed   *telemetry.Counter
 	deltaFallbacks *telemetry.Counter
+	// Batch-replay accounting (batch.go): shared sweeps run, candidate
+	// plans evaluated through them, and candidates abandoned mid-sweep by
+	// the exact bound-based pruning rule.
+	batchSweeps      *telemetry.Counter
+	batchPlans       *telemetry.Counter
+	prunedCandidates *telemetry.Counter
 }
 
 func newMCTelemetry() mcTelemetry {
 	rec := telemetry.Default()
 	return mcTelemetry{
-		estimates:      rec.Counter("montecarlo.estimates"),
-		samples:        rec.Counter("montecarlo.samples"),
-		tapeBatches:    rec.Counter("montecarlo.tape_batches"),
-		tapeSamples:    rec.Counter("montecarlo.tape_samples"),
-		tapeReplays:    rec.Counter("montecarlo.tape_replays"),
-		deltaAnchors:   rec.Counter("montecarlo.delta_anchors"),
-		deltaResumed:   rec.Counter("montecarlo.delta_resumed"),
-		deltaFallbacks: rec.Counter("montecarlo.delta_fallbacks"),
+		estimates:        rec.Counter("montecarlo.estimates"),
+		samples:          rec.Counter("montecarlo.samples"),
+		tapeBatches:      rec.Counter("montecarlo.tape_batches"),
+		tapeSamples:      rec.Counter("montecarlo.tape_samples"),
+		tapeReplays:      rec.Counter("montecarlo.tape_replays"),
+		deltaAnchors:     rec.Counter("montecarlo.delta_anchors"),
+		deltaResumed:     rec.Counter("montecarlo.delta_resumed"),
+		deltaFallbacks:   rec.Counter("montecarlo.delta_fallbacks"),
+		batchSweeps:      rec.Counter("montecarlo.batch_sweeps"),
+		batchPlans:       rec.Counter("montecarlo.batch_plans"),
+		prunedCandidates: rec.Counter("montecarlo.pruned_candidates"),
 	}
 }
 

@@ -69,12 +69,18 @@ type Snapshot struct {
 	firstUse []int32
 	fuBounds []int32
 
-	// scratchPool and accPool recycle the per-Estimate replay scratch and
-	// series accumulators across the thousands of evaluations one solve
-	// performs; both hold state that is fully reset on reuse, so pooling
-	// cannot leak one plan's numbers into another's.
+	// scratchPool, snapPool, and accPool recycle the per-Estimate replay
+	// scratch, the untaped path's sampling scratch, and series accumulators
+	// across the thousands of evaluations one solve performs; all hold
+	// state that is fully reset on reuse, so pooling cannot leak one plan's
+	// numbers into another's.
 	scratchPool sync.Pool
+	snapPool    sync.Pool
 	accPool     sync.Pool
+
+	// bnd holds the snapshot-level coefficient minima the exact-pruning
+	// bound replay substitutes for region-dependent lookups (bounds.go).
+	bnd boundTables
 
 	// Per node (dense index).
 	cpuUtil  []float64
@@ -85,9 +91,9 @@ type Snapshot struct {
 	// while staying bit-identical to it.
 	execMemKW  []float64
 	execProcKW []float64
-	isSync   []bool
-	outEdges [][]snapEdge
-	output   [][]float64 // sorted terminal write-back samples; nil when unobserved
+	isSync     []bool
+	outEdges   [][]snapEdge
+	output     [][]float64 // sorted terminal write-back samples; nil when unobserved
 
 	entryBytes []float64 // sorted entry payload samples
 
@@ -190,6 +196,7 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 
 	n := s.nodes.Len()
 	s.scratchPool.New = func() any { return newReplayScratch(n) }
+	s.snapPool.New = func() any { return newSnapScratch(n) }
 	s.accPool.New = func() any { return new(seriesAcc) }
 	startIdx, _ := s.nodes.Index(d.Start())
 	s.start = startIdx
@@ -328,6 +335,7 @@ func Compile(in Inputs, tx carbon.TransmissionModel, seed int64, regions []regio
 		}
 		s.txRF[h] = rf
 	}
+	s.bakeBoundTables()
 	return s, nil
 }
 
@@ -388,6 +396,10 @@ func (s *Snapshot) getScratch() *replayScratch { return s.scratchPool.Get().(*re
 
 func (s *Snapshot) putScratch(sc *replayScratch) { s.scratchPool.Put(sc) }
 
+func (s *Snapshot) getSnapScratch() *snapScratch { return s.snapPool.Get().(*snapScratch) }
+
+func (s *Snapshot) putSnapScratch(sc *snapScratch) { s.snapPool.Put(sc) }
+
 func (s *Snapshot) getAcc() *seriesAcc {
 	a := s.accPool.Get().(*seriesAcc)
 	a.reset()
@@ -417,6 +429,10 @@ func (s *Snapshot) NodeID(i int) dag.NodeID { return s.nodes.Node(i) }
 // IntensityIdx returns the pre-resolved grid intensity of region index r
 // at hour index h.
 func (s *Snapshot) IntensityIdx(h, r int) float64 { return s.intensity[h][r] }
+
+// Regions returns the number of candidate regions in the snapshot; dense
+// assignment values range over [0, Regions()).
+func (s *Snapshot) Regions() int { return s.nR }
 
 // HomeAssign returns a dense assignment deploying every stage to home.
 func (s *Snapshot) HomeAssign() []int {
@@ -500,9 +516,19 @@ func (s *Snapshot) checkArgs(assign []int, h int) error {
 }
 
 func (s *Snapshot) estimateUntaped(assign []int, h int) (*Estimate, error) {
-	rng := simclock.NewRand(s.hourSeed[h])
-	sc := newSnapScratch(s.nodes.Len())
-	var acc seriesAcc
+	rng := simclock.AcquireRand(s.hourSeed[h])
+	defer rng.Release()
+	// RNG, scratch, and accumulator come from pools: the untaped
+	// reference path is itself called thousands of times per solve in
+	// untaped mode, and per-call allocation of the RNG register and the
+	// eight scratch slices was its largest constant cost. All are fully
+	// reset on reuse (Seed resets the register; sampleOnce resets the
+	// scratch per sample; getAcc resets the series), so the arithmetic is
+	// unchanged.
+	sc := s.getSnapScratch()
+	defer s.putSnapScratch(sc)
+	acc := s.getAcc()
+	defer s.putAcc(acc)
 	for acc.samples() < MaxSamples {
 		for i := 0; i < BatchSize; i++ {
 			smp, err := s.sampleOnce(assign, s.intensity[h], rng, sc)

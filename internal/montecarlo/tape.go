@@ -140,6 +140,15 @@ type soaCols struct {
 	// staging edges, (bytes+controlBytes)/1e9 for direct edges (the
 	// reference adds the control envelope before converting), 0 for skips.
 	e9 []float64
+	// Pruning-bound columns (bounds.go), present only when the snapshot's
+	// coefficient minima are valid: bndStep holds per-step minimum triples
+	// at si*3 {duration, energy contribution, exec cost}, and
+	// preLat/preCost/preCarb are per-sample metric-floor prefix sums (len
+	// nSamples+1). bndOK latches false — disabling pruning for the tape,
+	// never changing a result — when a per-sample floor goes negative.
+	bndStep                  []float64
+	preLat, preCost, preCarb []float64
+	bndOK                    bool
 }
 
 // hourTape owns one hour's lazily extended tape. The mutex serializes
@@ -192,7 +201,7 @@ func (t *hourTape) ensure(s *Snapshot, h, n int) *tapeData {
 	}
 	nd := &tapeData{n: ref.n, entry: ref.entry, stepOff: ref.stepOff, skipSyncs: ref.skipSyncs}
 	if s.soaTapes {
-		nd.soa = s.transposeSoA(d.soa, ref, oldSteps, oldEdges)
+		nd.soa = s.transposeSoA(d.soa, ref, oldSteps, oldEdges, h)
 	} else {
 		nd.steps = ref.steps
 		nd.edges = ref.edges
@@ -207,7 +216,7 @@ func (t *hourTape) ensure(s *Snapshot, h, n int) *tapeData {
 // every float64 column carved from one arena block per extension — copies
 // the prior prefix, and fills the new span, so readers holding an old
 // header never observe growth.
-func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges int) *soaCols {
+func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges, h int) *soaCols {
 	nR := s.nR
 	nS, nE := len(ref.steps), len(ref.edges)
 	c := &soaCols{
@@ -219,7 +228,11 @@ func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges
 		skipOff: make([]int32, nE+1),
 	}
 	nSamp := ref.n
-	arena := make([]float64, nS*4+nE*2+nSamp+nS*nR*3)
+	size := nS*4 + nE*2 + nSamp + nS*nR*3
+	if s.bnd.ok {
+		size += nS*3 + 3*(nSamp+1)
+	}
+	arena := make([]float64, size)
 	c.staged, arena = arena[:nS:nS], arena[nS:]
 	c.out, arena = arena[:nS:nS], arena[nS:]
 	c.aux9, arena = arena[:nS:nS], arena[nS:]
@@ -227,7 +240,16 @@ func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges
 	c.bytes, arena = arena[:nE:nE], arena[nE:]
 	c.e9, arena = arena[:nE:nE], arena[nE:]
 	c.entry9, arena = arena[:nSamp:nSamp], arena[nSamp:]
-	c.drc = arena
+	drcLen := nS * nR * 3
+	c.drc, arena = arena[:drcLen:drcLen], arena[drcLen:]
+	if s.bnd.ok {
+		bs := nS * 3
+		c.bndStep, arena = arena[:bs:bs], arena[bs:]
+		c.preLat, arena = arena[:nSamp+1:nSamp+1], arena[nSamp+1:]
+		c.preCost, arena = arena[:nSamp+1:nSamp+1], arena[nSamp+1:]
+		c.preCarb = arena
+		c.bndOK = prev == nil || prev.bndOK
+	}
 	if prev != nil {
 		copy(c.node, prev.node)
 		copy(c.flags, prev.flags)
@@ -243,6 +265,12 @@ func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges
 		copy(c.e9, prev.e9)
 		copy(c.skipOff, prev.skipOff)
 		copy(c.entry9, prev.entry9)
+		if prev.bndStep != nil {
+			copy(c.bndStep, prev.bndStep)
+			copy(c.preLat, prev.preLat)
+			copy(c.preCost, prev.preCost)
+			copy(c.preCarb, prev.preCarb)
+		}
 	}
 	oldSamp := 0
 	if prev != nil {
@@ -290,6 +318,10 @@ func (s *Snapshot) transposeSoA(prev *soaCols, ref *tapeData, oldSteps, oldEdges
 		}
 	}
 	c.skipOff[nE] = skips
+	if c.bndOK {
+		s.bakeBoundSteps(c, h, oldSteps, nS)
+		s.bakeBoundSamples(ref, c, h, oldSamp, nSamp)
+	}
 	return c
 }
 

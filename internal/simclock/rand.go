@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Rand is a deterministic random stream used throughout the simulator.
@@ -42,6 +43,32 @@ func DeriveSeed(seed int64, label string) int64 {
 func DeriveRand(seed int64, label string) *Rand {
 	return NewRand(DeriveSeed(seed, label))
 }
+
+// randPool recycles Rand streams. A lazySource register is ~5.6 KB, and
+// the hot paths (one stream per HBSS proposal, one per untaped estimate)
+// derive thousands of short-lived streams per solve — re-seeding a
+// pooled register produces the bit-identical stream (Seed fully resets
+// x0, tap, feed, and the presence bitmap) without the allocation.
+var randPool = sync.Pool{New: func() any { return NewRand(0) }}
+
+// AcquireRand returns a pooled stream seeded with seed — bit-identical
+// to NewRand(seed). Pair with Release when the stream is done; never use
+// a stream after releasing it.
+func AcquireRand(seed int64) *Rand {
+	r := randPool.Get().(*Rand)
+	r.src.Seed(seed)
+	return r
+}
+
+// AcquireDerived is the pooled DeriveRand: a stream for (seed, label)
+// that Release returns for reuse.
+func AcquireDerived(seed int64, label string) *Rand {
+	return AcquireRand(DeriveSeed(seed, label))
+}
+
+// Release returns a stream obtained from AcquireRand or AcquireDerived
+// to the pool.
+func (r *Rand) Release() { randPool.Put(r) }
 
 // Float64 returns a uniform value in [0, 1).
 func (r *Rand) Float64() float64 { return r.src.Float64() }

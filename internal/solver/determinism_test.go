@@ -69,24 +69,36 @@ func TestSolveHourlyDeterministicAcrossGOMAXPROCS(t *testing.T) {
 }
 
 // TestSolveDeterministicAcrossEvalModes is the PR-wide bit-identity grid:
-// worker counts 1 and 8 crossed with delta replay on/off and the SoA tape
-// layout on/off (the Config escape hatches) must all produce exactly the
-// same 24 hourly plans and bit-identical estimates. Delta replay resumes
-// cached prefixes and SoA replays transposed columns — both are defined
-// as pure reorganizations of the reference arithmetic, and this test is
-// the contract.
+// worker counts 1 and 8 crossed with every evaluation mode — batched SoA
+// sweeps with exact pruning (the default), per-plan evaluation (nobatch),
+// delta replay off (nodelta), the array-of-structs tape layout (nosoa),
+// and the untaped reference estimator — must all produce exactly the same
+// 24 hourly plans and bit-identical estimates. Each mode is defined as a
+// pure reorganization of the reference arithmetic (batching shares column
+// loads, pruning only abandons candidates a bound proves rejected), and
+// this test is the contract.
 func TestSolveDeterministicAcrossEvalModes(t *testing.T) {
 	in := chainInputs(t, 6)
-	solve := func(workers int, nodelta, nosoa bool) (dag.HourlyPlans, []Result) {
-		s, err := New(Config{
-			Inputs:      in,
-			Estimator:   montecarlo.New(in, carbon.BestCase(), 42),
-			Objective:   Objective{Priority: PriorityCarbon, Tolerances: Tolerances{Latency: Tol(50)}},
-			Seed:        42,
-			Workers:     workers,
-			NoDeltaEval: nodelta,
-			NoSoATape:   nosoa,
-		})
+	modes := []struct {
+		name  string
+		apply func(*Config)
+	}{
+		{"batch", func(*Config) {}},
+		{"nobatch", func(c *Config) { c.NoBatchEval = true }},
+		{"nodelta", func(c *Config) { c.NoDeltaEval = true }},
+		{"nosoa", func(c *Config) { c.NoSoATape = true }},
+		{"untaped", func(c *Config) { c.UntapedEstimates = true }},
+	}
+	solve := func(workers int, apply func(*Config)) (dag.HourlyPlans, []Result) {
+		cfg := Config{
+			Inputs:    in,
+			Estimator: montecarlo.New(in, carbon.BestCase(), 42),
+			Objective: Objective{Priority: PriorityCarbon, Tolerances: Tolerances{Latency: Tol(50)}},
+			Seed:      42,
+			Workers:   workers,
+		}
+		apply(&cfg)
+		s, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,18 +108,16 @@ func TestSolveDeterministicAcrossEvalModes(t *testing.T) {
 		}
 		return plans, results
 	}
-	refPlans, refRes := solve(1, false, false)
+	refPlans, refRes := solve(1, modes[0].apply)
 	for _, workers := range []int{1, 8} {
-		for _, nodelta := range []bool{false, true} {
-			for _, nosoa := range []bool{false, true} {
-				if workers == 1 && !nodelta && !nosoa {
-					continue
-				}
-				plans, res := solve(workers, nodelta, nosoa)
-				t.Run(fmt.Sprintf("workers=%d_nodelta=%v_nosoa=%v", workers, nodelta, nosoa), func(t *testing.T) {
-					assertIdenticalSolves(t, refPlans, plans, refRes, res)
-				})
+		for _, m := range modes {
+			if workers == 1 && m.name == "batch" {
+				continue // the reference itself
 			}
+			plans, res := solve(workers, m.apply)
+			t.Run(fmt.Sprintf("workers=%d_mode=%s", workers, m.name), func(t *testing.T) {
+				assertIdenticalSolves(t, refPlans, plans, refRes, res)
+			})
 		}
 	}
 }

@@ -25,6 +25,42 @@ const (
 // count so the search trajectory is identical at any parallelism.
 const hbssBatch = 16
 
+// pruneMargin is the relative slack added to every prune threshold. The
+// bound replay itself is float-exact (bounds.go), but the prefix-sum
+// floors are accumulated in a different association than the lane's own
+// running sum, and inverting acceptWorse's exp into a metric cutoff
+// crosses exp/ln once; both slacks are O(n·ε) ≈ 1e-13 relative, absorbed
+// with four orders of magnitude to spare. The margin only ever keeps a
+// candidate alive longer — never prunes one the reference would accept.
+const pruneMargin = 1e-9
+
+// clampDenom mirrors acceptWorse's denominator guard: the relative
+// regression divides by the incumbent metric, floored at 1e-12 for
+// non-positive metrics.
+func clampDenom(m float64) float64 {
+	if m <= 0 {
+		return 1e-12
+	}
+	return m
+}
+
+// pruneThreshold inverts the acceptance rule of one proposal into a
+// metric cutoff: with incumbent metric m0, temperature gamma, and the
+// proposal's pre-drawn uniform u, acceptWorse accepts a candidate metric
+// m iff u < exp(-(m-m0)/(clampDenom(m0)·gamma)), i.e. iff
+// m < m0 − clampDenom(m0)·gamma·ln(u); metrics below m0 are accepted by
+// the strict improvement test regardless. A candidate whose metric
+// provably exceeds the cutoff (plus margin) therefore cannot be accepted
+// by this proposal. u ≤ 0 always accepts (exp(·) > 0), so its cutoff is
+// +Inf — never pruned.
+func pruneThreshold(m0, gamma, u float64) float64 {
+	if u <= 0 {
+		return math.Inf(1)
+	}
+	t := m0 - clampDenom(m0)*gamma*math.Log(u)
+	return t + pruneMargin*math.Abs(t)
+}
+
 // solveHBSS runs the batched, deterministic variant of Alg. 1 from the
 // home deployment. Iteration i draws all of its randomness — the
 // perturbation and the pre-drawn acceptance uniform — from an independent
@@ -71,15 +107,23 @@ func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
 		if end > alpha {
 			end = alpha
 		}
+		// m0 is the round-start incumbent metric every prune threshold is
+		// derived from; the acceptance loop re-checks its premise before
+		// honoring a pruned (nil) estimate.
+		m0 := metricOf(current.est, s.obj.Priority)
 		props := make([]proposal, 0, end-iter)
 		assigns := make([][]int, 0, end-iter)
+		thrs := make([]float64, 0, end-iter)
 		for i := iter; i < end; i++ {
 			labelBuf = append(labelBuf[:0], labelPrefix...)
 			labelBuf = strconv.AppendInt(labelBuf, int64(i), 10)
-			rng := simclock.DeriveRand(s.seed, string(labelBuf))
+			rng := simclock.AcquireDerived(s.seed, string(labelBuf))
 			nd := c.propose(current.assign, ranked, rng)
-			props = append(props, proposal{nd, assignKey(nd), rng.Float64()})
+			u := rng.Float64()
+			rng.Release()
+			props = append(props, proposal{nd, assignKey(nd), u})
 			assigns = append(assigns, nd)
+			thrs = append(thrs, pruneThreshold(m0, gamma, u))
 		}
 		iter = end
 
@@ -90,7 +134,7 @@ func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
 		// checkpoints; wider perturbations fall back to full replay
 		// inside EstimateDelta).
 		s.tel.hbssBatches.Inc()
-		ests, err := c.evalAllFrom(current.assign, current.est, assigns, h)
+		ests, err := c.evalAllPruned(current.assign, current.est, assigns, h, thrs)
 		if err != nil {
 			return denseResult{}, err
 		}
@@ -103,6 +147,27 @@ func (c *search) solveHBSS(h int, home denseResult) (denseResult, error) {
 			seen[p.key] = true
 			explored++
 			est := ests[j]
+			if est == nil {
+				// Pruned: the batch sweep proved the candidate's metric
+				// exceeds this proposal's cutoff at round-start state
+				// (m0, round-start gamma). The rejection carries over to
+				// the live state exactly when the cutoff has not loosened
+				// since: gamma only cools (shrinking the cutoff), so it
+				// suffices that the incumbent metric has not risen past
+				// m0 and that the denominator clamp is monotone across
+				// the pair (it is not near 0, where m ≤ 0 clamps to 1e-12
+				// but a tiny positive m does not). Otherwise the proof's
+				// premise lapsed — evaluate in full (memoized,
+				// bit-identical) and run the normal acceptance.
+				mNew := metricOf(current.est, s.obj.Priority)
+				if mNew <= m0 && clampDenom(mNew) <= clampDenom(m0) {
+					continue
+				}
+				var eerr error
+				if est, eerr = c.estimate(p.assign, h); eerr != nil {
+					return denseResult{}, eerr
+				}
+			}
 			if s.violates(est, home.est) {
 				continue
 			}

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +14,14 @@ import (
 // exhaustiveCutoff is the search-space size below which exhaustive
 // enumeration is cheaper than sampling.
 const exhaustiveCutoff = 256
+
+// evalChunk is how many deduplicated evaluation jobs one batched
+// EstimateBatch/EstimateBatchDelta call carries. An HBSS round's fresh
+// proposals (≤ hbssBatch) always fit one chunk; larger exhaustive job
+// lists split into chunk-grained goroutines so the worker bound still
+// applies. Chunk boundaries depend only on the job order, never on
+// scheduling, so the pruning decisions inside a chunk are deterministic.
+const evalChunk = 16
 
 // search is the per-solve context: the compiled evaluation snapshot,
 // dense per-stage eligibility, the (plan, hour) estimate memo shared
@@ -35,6 +44,11 @@ type search struct {
 	// disabled by Config.NoDeltaEval and implied off by NoSoATape and
 	// UntapedEstimates (delta replay resumes SoA tape checkpoints).
 	delta bool
+	// batch routes grouped evaluations through the shared-sweep batch
+	// replayers with bound-based pruning (montecarlo.EstimateBatch);
+	// disabled by Config.NoBatchEval and implied off by NoSoATape and
+	// UntapedEstimates (the batch sweep walks SoA columns).
+	batch bool
 
 	mu    sync.Mutex
 	cache map[memoKey]*montecarlo.Estimate
@@ -102,6 +116,7 @@ func (s *Solver) newSearch(hours []time.Time, now time.Time) (*search, error) {
 		elig:  elig,
 		space: s.searchSpace(),
 		delta: !s.nodelta && !s.nosoa && !s.untaped,
+		batch: !s.nobatch && !s.nosoa && !s.untaped,
 		cache: make(map[memoKey]*montecarlo.Estimate),
 		sem:   make(chan struct{}, s.workers),
 	}, nil
@@ -132,11 +147,41 @@ func (c *search) evalAll(assigns [][]int, h int) ([]*montecarlo.Estimate, error)
 // by the montecarlo delta parity tests), so memo entries stay
 // interchangeable regardless of which path produced them.
 func (c *search) evalAllFrom(baseAssign []int, baseEst *montecarlo.Estimate, assigns [][]int, h int) ([]*montecarlo.Estimate, error) {
+	return c.evalAllPruned(baseAssign, baseEst, assigns, h, nil)
+}
+
+// batchMetric maps the solver priority onto the batch sweep's pruning
+// metric — the same mean metricOf reads.
+func batchMetric(p Priority) montecarlo.BatchMetric {
+	switch p {
+	case PriorityCost:
+		return montecarlo.BatchCostMean
+	case PriorityLatency:
+		return montecarlo.BatchLatencyMean
+	default:
+		return montecarlo.BatchCarbonMean
+	}
+}
+
+// evalAllPruned is evalAllFrom with per-assignment abandonment
+// thresholds (nil thr, or +Inf entries, disable pruning). With batch
+// evaluation enabled, deduplicated cache misses are evaluated in
+// evalChunk-sized groups through one shared tape sweep each; a returned
+// nil estimate means the sweep proved that candidate's priority metric
+// exceeds its threshold. Pruned results are never memoized — the proof
+// is relative to this call's thresholds — so out[i] stays nil for every
+// occurrence of a pruned plan. A duplicated assignment's job carries the
+// threshold of its first unmemoized occurrence; that is the only
+// occurrence whose estimate the HBSS acceptance loop can reach (later
+// duplicates fail its seen check), so the sharing cannot leak a prune
+// decision across different thresholds.
+func (c *search) evalAllPruned(baseAssign []int, baseEst *montecarlo.Estimate, assigns [][]int, h int, thr []float64) ([]*montecarlo.Estimate, error) {
 	out := make([]*montecarlo.Estimate, len(assigns))
 	keys := make([]string, len(assigns))
 	type job struct {
 		assign []int
 		key    string
+		thr    float64
 	}
 	var jobs []job
 	hits := int64(0)
@@ -152,7 +197,11 @@ func (c *search) evalAllFrom(baseAssign []int, baseEst *montecarlo.Estimate, ass
 		}
 		if !pending[k] {
 			pending[k] = true
-			jobs = append(jobs, job{append([]int(nil), a...), k})
+			t := math.Inf(1)
+			if thr != nil {
+				t = thr[i]
+			}
+			jobs = append(jobs, job{append([]int(nil), a...), k, t})
 		}
 	}
 	c.mu.Unlock()
@@ -162,30 +211,82 @@ func (c *search) evalAllFrom(baseAssign []int, baseEst *montecarlo.Estimate, ass
 		return out, nil
 	}
 
-	eval := func(a []int) (*montecarlo.Estimate, error) {
-		if c.delta && baseAssign != nil {
-			return c.snap.EstimateDelta(baseEst, baseAssign, a, h)
-		}
-		return c.snap.Estimate(a, h)
-	}
 	ests := make([]*montecarlo.Estimate, len(jobs))
 	errs := make([]error, len(jobs))
-	if c.s.workers <= 1 || len(jobs) == 1 {
-		for j := range jobs {
-			ests[j], errs[j] = eval(jobs[j].assign)
+	if c.batch {
+		runChunk := func(lo, hi int) {
+			as := make([][]int, hi-lo)
+			ts := make([]float64, hi-lo)
+			for j := lo; j < hi; j++ {
+				as[j-lo] = jobs[j].assign
+				ts[j-lo] = jobs[j].thr
+			}
+			prune := &montecarlo.BatchPrune{Metric: batchMetric(c.s.obj.Priority), Threshold: ts}
+			var es []*montecarlo.Estimate
+			var err error
+			if c.delta && baseAssign != nil {
+				es, err = c.snap.EstimateBatchDelta(baseEst, baseAssign, as, h, prune)
+			} else {
+				es, err = c.snap.EstimateBatch(as, h, prune)
+			}
+			for j := lo; j < hi; j++ {
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				ests[j] = es[j-lo]
+			}
+		}
+		if c.s.workers <= 1 {
+			runChunk(0, len(jobs))
+		} else if len(jobs) <= evalChunk {
+			// One chunk, run inline — but under an evaluation slot, so
+			// concurrent hour coordinators stay bounded by the worker
+			// count now that the coordinator itself sweeps the tape.
+			c.sem <- struct{}{}
+			runChunk(0, len(jobs))
+			<-c.sem
+		} else {
+			var wg sync.WaitGroup
+			for lo := 0; lo < len(jobs); lo += evalChunk {
+				hi := lo + evalChunk
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					c.sem <- struct{}{}
+					runChunk(lo, hi)
+					<-c.sem
+				}(lo, hi)
+			}
+			wg.Wait()
 		}
 	} else {
-		var wg sync.WaitGroup
-		for j := range jobs {
-			wg.Add(1)
-			go func(j int) {
-				defer wg.Done()
-				c.sem <- struct{}{}
-				ests[j], errs[j] = eval(jobs[j].assign)
-				<-c.sem
-			}(j)
+		eval := func(a []int) (*montecarlo.Estimate, error) {
+			if c.delta && baseAssign != nil {
+				return c.snap.EstimateDelta(baseEst, baseAssign, a, h)
+			}
+			return c.snap.Estimate(a, h)
 		}
-		wg.Wait()
+		if c.s.workers <= 1 || len(jobs) == 1 {
+			for j := range jobs {
+				ests[j], errs[j] = eval(jobs[j].assign)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for j := range jobs {
+				wg.Add(1)
+				go func(j int) {
+					defer wg.Done()
+					c.sem <- struct{}{}
+					ests[j], errs[j] = eval(jobs[j].assign)
+					<-c.sem
+				}(j)
+			}
+			wg.Wait()
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -196,6 +297,9 @@ func (c *search) evalAllFrom(baseAssign []int, baseEst *montecarlo.Estimate, ass
 	computed := make(map[string]*montecarlo.Estimate, len(jobs))
 	c.mu.Lock()
 	for j := range jobs {
+		if ests[j] == nil {
+			continue // pruned: valid only against this call's thresholds
+		}
 		c.cache[memoKey{jobs[j].key, h}] = ests[j]
 		computed[jobs[j].key] = ests[j]
 	}
@@ -285,12 +389,25 @@ func (c *search) solveExhaustive(h int, home denseResult) (denseResult, error) {
 		}
 	}
 	walk(0)
-	ests, err := c.evalAll(all, h)
+	// The winner is the argmin starting from home, so any candidate whose
+	// priority metric provably exceeds the home metric (plus the bound
+	// slack margin) can be abandoned mid-sweep: best only improves on
+	// home, hence a pruned candidate can never be the final argmin.
+	mHome := metricOf(home.est, c.s.obj.Priority)
+	cut := mHome + pruneMargin*math.Abs(mHome)
+	thr := make([]float64, len(all))
+	for i := range thr {
+		thr[i] = cut
+	}
+	ests, err := c.evalAllPruned(nil, nil, all, h, thr)
 	if err != nil {
 		return denseResult{}, err
 	}
 	best := home
 	for i, est := range ests {
+		if est == nil {
+			continue // pruned: metric above the home baseline
+		}
 		if c.s.violates(est, home.est) {
 			continue
 		}

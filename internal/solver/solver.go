@@ -111,18 +111,29 @@ type Config struct {
 	// either way; delta replay requires the column layout, so this also
 	// implies full replay for neighbor evaluations.
 	NoSoATape bool
+	// NoBatchEval evaluates candidate plans one at a time instead of
+	// through the batched multi-plan sweep with bound-based pruning
+	// (montecarlo.EstimateBatch). Results are bit-identical either way —
+	// surviving candidates replay the exact reference arithmetic, and
+	// every pruned candidate is one the acceptance rule provably rejects
+	// (re-evaluated in full when the proof's premise lapses) — asserted by
+	// the solver mode grid and pruning property tests. Batch evaluation
+	// requires SoA tapes, so NoSoATape and UntapedEstimates imply it off.
+	NoBatchEval bool
 }
 
 // EvalModes bundles the evaluation-path escape hatches
-// (UntapedEstimates, NoDeltaEval, NoSoATape) so process-level tooling —
-// caribou-eval's -eval-mode flag — can route every solve in a run
-// through a reference path without threading new fields through each
-// experiment constructor. All modes are bit-identical by construction;
-// see DESIGN.md "SoA tape layout & delta replay".
+// (UntapedEstimates, NoDeltaEval, NoSoATape, NoBatchEval) so
+// process-level tooling — caribou-eval's -eval-mode flag — can route
+// every solve in a run through a reference path without threading new
+// fields through each experiment constructor. All modes are
+// bit-identical by construction; see DESIGN.md "SoA tape layout & delta
+// replay" and "Batched replay & exact pruning".
 type EvalModes struct {
 	UntapedEstimates bool
 	NoDeltaEval      bool
 	NoSoATape        bool
+	NoBatchEval      bool
 }
 
 // defaultEvalModes is ORed into the Config flags of every Solver built
@@ -152,6 +163,7 @@ type Solver struct {
 	untaped  bool
 	nodelta  bool
 	nosoa    bool
+	nobatch  bool
 
 	tel solverTelemetry
 }
@@ -230,6 +242,7 @@ func New(cfg Config) (*Solver, error) {
 		untaped:  cfg.UntapedEstimates || defaultEvalModes.UntapedEstimates,
 		nodelta:  cfg.NoDeltaEval || defaultEvalModes.NoDeltaEval,
 		nosoa:    cfg.NoSoATape || defaultEvalModes.NoSoATape,
+		nobatch:  cfg.NoBatchEval || defaultEvalModes.NoBatchEval,
 		tel:      newSolverTelemetry(),
 	}
 	for _, n := range s.order {

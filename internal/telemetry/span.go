@@ -22,11 +22,11 @@ func (r *Recorder) StartSpan(name string, attrs ...Attr) *Span {
 		return nil
 	}
 	return &Span{
-		r:      r,
-		id:     r.nextID.Add(1),
-		name:   name,
-		start:  time.Now(),
-		attrs:  attrs,
+		r:     r,
+		id:    r.nextID.Add(1),
+		name:  name,
+		start: time.Now(),
+		attrs: attrs,
 	}
 }
 
