@@ -18,6 +18,7 @@ test:
 # and the shared trace-cache concurrency tests.
 race:
 	$(GO) test -race ./internal/solver/... ./internal/montecarlo/... ./internal/telemetry/...
+	$(GO) test -race ./internal/controlplane/... ./internal/manager/...
 	$(GO) test -race -run 'TestPool|TestFig7|TestCoarse|TestRunAll|TestDo|TestSharedSource|TestTelemetry' ./internal/eval/... ./internal/carbon/...
 
 # vet runs with the same build tags as the build (none today; set
@@ -43,9 +44,12 @@ lint:
 
 # bench is a short smoke pass (one iteration per benchmark) so the whole
 # suite stays in CI budget; use `go test -bench . -benchtime Nx .` for
-# stable timings.
+# stable timings. The control-plane load generator runs a small
+# in-process population as part of the same pass (benchmark lines on
+# stdout; see cmd/caribou-load).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+	$(GO) run ./cmd/caribou-load -tenants 64 -deltas 2 -queries 3 -workers 16
 
 # bench-json times the tracked solver/tape benchmarks and merges the
 # ns/op numbers into BENCH_PR7.json under $(LABEL) (see cmd/benchjson;
@@ -58,6 +62,23 @@ BENCHES = BenchmarkSolver24Hourly$$|BenchmarkSolver24HourlyUntaped$$|BenchmarkSo
 bench-json:
 	$(GO) test -run xxx -bench '$(BENCHES)' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR7.json -label $(LABEL)
+
+# bench-json-pr8 measures the control plane end-to-end: it builds
+# caribou-server and caribou-load, starts the server in -sim mode on
+# PR8_ADDR, drives 10k concurrent tenants over real HTTP, and merges the
+# resulting benchmark lines (p99 plan-query latency, ns-per-solve
+# throughput, admission-rejection count) into BENCH_PR8.json. Numbers are
+# host-dependent; re-run on an idle machine before comparing.
+PR8_ADDR ?= localhost:8456
+bench-json-pr8:
+	@mkdir -p .bench
+	$(GO) build -o .bench/caribou-server ./cmd/caribou-server
+	$(GO) build -o .bench/caribou-load ./cmd/caribou-load
+	@.bench/caribou-server -sim -addr $(PR8_ADDR) -shards 8 -queue-depth 256 & \
+	SERVER=$$!; sleep 1; \
+	.bench/caribou-load -addr http://$(PR8_ADDR) -tenants 10000 -deltas 3 -queries 5 -workers 128 \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR8.json -label $(LABEL); \
+	STATUS=$$?; kill $$SERVER 2>/dev/null; exit $$STATUS
 
 # verify is the pre-merge gate: full build + full suite + race-checked
 # solver/montecarlo/telemetry/eval-pool + vet + the determinism lint.

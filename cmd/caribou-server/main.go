@@ -1,0 +1,186 @@
+// Command caribou-server runs the Caribou control plane: a long-running
+// HTTP/JSON service hosting registered workflows, streaming trace deltas
+// into their event-driven token buckets, and serving planning decisions.
+//
+// Usage:
+//
+//	caribou-server [-addr HOST:PORT] [-shards N] [-queue-depth N] [-seed N]
+//	               [-sim] [-solve-iterations N]
+//	               [-trace FILE] [-telemetry] [-pprof ADDR]
+//	               [-cpuprofile FILE] [-memprofile FILE]
+//
+// API (see DESIGN.md "Control plane"):
+//
+//	POST /v1/workflows              register a workflow (DAG + priority + regions)
+//	POST /v1/workflows/{id}/trace   push a streaming trace delta
+//	GET  /v1/workflows/{id}/plan    current plan + staleness metadata
+//	POST /v1/workflows/{id}/solve   force a re-solve (409 when tokens are short)
+//	GET  /v1/stats                  serving counters and shard queue depths
+//	GET  /healthz                   liveness
+//
+// -sim serves against a simclock frozen at the virtual-time origin, which
+// makes every response body byte-reproducible for a given request script;
+// the default wall clock only ever stamps served_at metadata — plan
+// content is identical either way. Observability flags follow the
+// caribou-eval conventions: -trace FILE dumps the NDJSON flight recorder
+// on shutdown, -telemetry prints a summary table to stderr, -pprof serves
+// net/http/pprof, -cpuprofile/-memprofile write runtime profiles.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
+	"time"
+
+	"caribou/internal/controlplane"
+	"caribou/internal/telemetry"
+)
+
+func main() { os.Exit(realMain()) }
+
+// realMain carries main's body so deferred cleanup (profile flushes,
+// trace writes, shard shutdown) runs before the process exits.
+func realMain() int {
+	addr := flag.String("addr", "localhost:8455", "HTTP listen address")
+	shards := flag.Int("shards", 4, "worker shards owning tenant state")
+	queueDepth := flag.Int("queue-depth", 64, "per-shard job queue bound (admission control)")
+	seed := flag.Int64("seed", 1, "server seed: derives tenant seeds and the carbon source")
+	sim := flag.Bool("sim", false, "serve against a simclock frozen at the virtual-time origin (byte-reproducible responses)")
+	solveIters := flag.Int("solve-iterations", 24, "HBSS iteration cap per tenant solve")
+	traceFile := flag.String("trace", "", "write an NDJSON telemetry trace to this file on shutdown")
+	summary := flag.Bool("telemetry", false, "print a telemetry summary table to stderr on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	flag.Parse()
+
+	// Telemetry must be enabled before the server is constructed:
+	// instrument handles are captured at construction time.
+	if *traceFile != "" || *summary {
+		telemetry.Enable(telemetry.Options{})
+	}
+	if *pprofAddr != "" {
+		//caribou:allow goroutines pprof server lives outside the control plane; it never touches tenant state
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "caribou-server: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-server: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-server: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := controlplane.Config{
+		Shards:        *shards,
+		QueueDepth:    *queueDepth,
+		Seed:          *seed,
+		MaxIterations: *solveIters,
+	}
+	if !*sim {
+		// The serving edge's one wall-clock site: the injected clock
+		// stamps served_at metadata and latency instruments only; plan
+		// content never reads it (see DESIGN.md "Control plane").
+		//caribou:allow wallclock serving-edge clock stamps served_at metadata only; plan content never reads it
+		cfg.Clock = controlplane.ClockFunc(time.Now)
+	}
+	srv, err := controlplane.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-server: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Bounded request handling: a solve-heavy mutation can hold a
+		// connection for a while, but not forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	//caribou:allow goroutines HTTP listener runs beside the signal handler; shard workers own all tenant state
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "caribou-server: listening on %s (shards=%d queue-depth=%d sim=%t)\n", *addr, *shards, *queueDepth, *sim)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	code := 0
+	select {
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "caribou-server: %v\n", err)
+			code = 1
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "caribou-server: %v; shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-server: shutdown: %v\n", err)
+			code = 1
+		}
+		cancel()
+	}
+
+	// All diagnostics go to stderr or side files, mirroring caribou-eval.
+	if *summary {
+		telemetry.Default().WriteSummary(os.Stderr)
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-server: %v\n", err)
+			code = 1
+		}
+	}
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-server: %v\n", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// writeTrace dumps the flight recorder and instrument registry as NDJSON.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default().WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

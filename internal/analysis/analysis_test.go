@@ -125,6 +125,18 @@ func TestGoroutinesApprovedPackage(t *testing.T) {
 	checkFixture(t, "goroutines_ok", "caribou/internal/solver")
 }
 
+func TestGoroutinesControlPlaneApproved(t *testing.T) {
+	checkFixture(t, "goroutines_cp_ok", "caribou/internal/controlplane")
+}
+
+func TestGoroutinesCommandBinary(t *testing.T) {
+	checkFixture(t, "goroutines_cmd", "caribou/cmd/caribou-load")
+}
+
+func TestWallclockClockSeam(t *testing.T) {
+	checkFixture(t, "wallclock_clockseam", "caribou/internal/controlplane")
+}
+
 func TestTapeRecordFixture(t *testing.T) {
 	checkFixture(t, "taperecord_bad", "caribou/internal/solver")
 }

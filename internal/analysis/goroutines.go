@@ -4,23 +4,25 @@ import "go/ast"
 
 // goroutinePkgs are the approved concurrency packages: the solver's
 // batch fan-out, the eval pool, platform's region-limited executor
-// machinery, pubsub delivery, and telemetry's recorder. Keeping `go`
-// statements inside this set keeps determinism audits tractable — every
-// other package is sequential by construction, so bit-identity proofs
-// only have to reason about these five.
+// machinery, pubsub delivery, telemetry's recorder, and the control
+// plane's shard workers. Keeping `go` statements inside this set keeps
+// determinism audits tractable — every other package is sequential by
+// construction, so bit-identity proofs only have to reason about these
+// six.
 var goroutinePkgs = []string{
 	"caribou/internal/solver",
 	"caribou/internal/eval",
 	"caribou/internal/platform",
 	"caribou/internal/pubsub",
 	"caribou/internal/telemetry",
+	"caribou/internal/controlplane",
 }
 
 // GoroutinesAnalyzer flags `go` statements outside the approved
 // concurrency packages.
 var GoroutinesAnalyzer = &Analyzer{
 	Name: "goroutines",
-	Doc:  "restrict go statements to the approved concurrency packages (solver, eval, platform, pubsub, telemetry)",
+	Doc:  "restrict go statements to the approved concurrency packages (solver, eval, platform, pubsub, telemetry, controlplane)",
 	Run: func(p *Pass) {
 		if pathInAny(p.PkgPath, goroutinePkgs) {
 			return
@@ -28,7 +30,7 @@ var GoroutinesAnalyzer = &Analyzer{
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if g, ok := n.(*ast.GoStmt); ok {
-					p.Reportf(g.Pos(), "go statement outside the approved concurrency packages (solver, eval, platform, pubsub, telemetry): new concurrency widens the determinism audit; route work through eval.Pool or annotate with a reason")
+					p.Reportf(g.Pos(), "go statement outside the approved concurrency packages (solver, eval, platform, pubsub, telemetry, controlplane): new concurrency widens the determinism audit; route work through eval.Pool or annotate with a reason")
 				}
 				return true
 			})

@@ -1,0 +1,18 @@
+// Fixture: go statements produce no findings when the package is loaded
+// as caribou/internal/controlplane — the control plane's shard workers
+// joined the approved concurrency set, so the new subsystem is lint-clean
+// by construction rather than blanket-suppressed.
+package fixture
+
+func shardWorker(jobs chan func(), quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case j := <-jobs:
+				j()
+			case <-quit:
+				return
+			}
+		}
+	}()
+}

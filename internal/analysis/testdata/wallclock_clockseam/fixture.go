@@ -1,0 +1,35 @@
+// Fixture: the control plane's clock seam. Loaded as
+// caribou/internal/controlplane (not wallclock-exempt): time flows
+// through an injected Clock interface, so calls on the interface value
+// are clean; constructing the real clock is the one unavoidable
+// wall-clock site and carries an allow comment with a reason; a bare
+// time.Now anywhere else in the package remains a finding.
+package fixture
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+type clockFunc func() time.Time
+
+func (f clockFunc) Now() time.Time { return f() }
+
+// serve stamps serving metadata through the seam: no findings, whatever
+// clock was injected.
+func serve(clk clock) time.Time {
+	return clk.Now()
+}
+
+// realClock is the server binary's injection site: the single annotated
+// wall-clock read behind the seam.
+func realClock() clock {
+	//caribou:allow wallclock serving-edge clock stamps served_at metadata only; plan content never reads it
+	return clockFunc(time.Now)
+}
+
+// leaky bypasses the seam: still a finding.
+func leaky() time.Time {
+	return time.Now() // want wallclock "time.Now reads the wall clock"
+}

@@ -1,0 +1,205 @@
+// Package controlplane implements Caribou-as-a-service: a long-running
+// control plane hosting thousands of registered workflows, each with its
+// own metric window, solver, and event-driven token bucket
+// (manager.Stream). Tenant state is sharded — FNV(tenant id) mod N picks
+// the one worker goroutine that owns all mutation for that tenant — with
+// bounded per-shard queues providing admission control (full queue → 429 +
+// Retry-After). Plan reads bypass the shards entirely: GET /plan loads an
+// atomic.Pointer snapshot, so query latency is independent of solve
+// backlog.
+//
+// The §6 manager semantics run event-driven here: tokens accrue per
+// pushed trace delta, budget checks fire when a tenant's virtual time
+// passes its scheduled due time, granularity downgrades under tight
+// budgets, and a due check with an empty budget expires the active plan.
+// See tenant.go for the determinism boundary between the simulation core
+// and the serving edge.
+package controlplane
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caribou/internal/carbon"
+	"caribou/internal/region"
+	"caribou/internal/telemetry"
+)
+
+// DefaultStart anchors every tenant's virtual time and the shared carbon
+// source; it matches the evaluation window used across the repo.
+var DefaultStart = time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of worker shards (default 4). Plan bodies are
+	// identical for every value; only scheduling changes.
+	Shards int
+	// QueueDepth bounds each shard's job queue (default 64); a full
+	// queue rejects with 429.
+	QueueDepth int
+	// Seed derives every tenant seed and the shared carbon source
+	// (default 1).
+	Seed int64
+	// Start is the virtual-time origin for registered tenants (default
+	// DefaultStart).
+	Start time.Time
+	// Horizon bounds how far past Start tenants may advance; the shared
+	// carbon source covers [Start−8d, Start+Horizon+2d] (default 14d).
+	Horizon time.Duration
+	// Catalogue is the universe of candidate regions (default
+	// region.NorthAmerica()).
+	Catalogue *region.Catalogue
+	// Clock stamps serving-side metadata (served_at, latency
+	// instruments) and never influences plan content. Defaults to a
+	// SimClock frozen at Start — inject the wall clock explicitly to get
+	// real timestamps.
+	Clock Clock
+	// MaxIterations caps each tenant solver's HBSS iterations (default
+	// 24): thousands of tenants trade per-solve search depth for
+	// throughput.
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Start.IsZero() {
+		c.Start = DefaultStart
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 14 * 24 * time.Hour
+	}
+	if c.Catalogue == nil {
+		c.Catalogue = region.NorthAmerica()
+	}
+	if c.Clock == nil {
+		c.Clock = NewSimClock(c.Start)
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 24
+	}
+	return c
+}
+
+// Server hosts the control-plane API. Create with New, serve via
+// ServeHTTP (it implements http.Handler), stop with Close.
+type Server struct {
+	cfg    Config
+	clk    Clock
+	src    carbon.Source
+	shards []*shard
+	mux    *http.ServeMux
+
+	mu       sync.RWMutex
+	tenants  map[string]*Tenant
+	reserved map[string]bool
+	nextID   atomic.Uint64
+
+	// Serving counters, exported via /v1/stats.
+	registered atomic.Int64
+	deltas     atomic.Int64
+	queries    atomic.Int64
+	solves     atomic.Int64
+	skips      atomic.Int64
+	rejections atomic.Int64
+
+	tel serverTelemetry
+}
+
+// serverTelemetry holds instrument handles captured at construction;
+// nil-safe no-ops when telemetry is off.
+type serverTelemetry struct {
+	rec          *telemetry.Recorder
+	registers    *telemetry.Counter
+	deltas       *telemetry.Counter
+	queries      *telemetry.Counter
+	rejections   *telemetry.Counter
+	queryLatency *telemetry.Histogram
+	solveLatency *telemetry.Histogram
+}
+
+func newServerTelemetry() serverTelemetry {
+	rec := telemetry.Default()
+	latencyBounds := []float64{1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5}
+	return serverTelemetry{
+		rec:          rec,
+		registers:    rec.Counter("controlplane.registers"),
+		deltas:       rec.Counter("controlplane.deltas"),
+		queries:      rec.Counter("controlplane.plan_queries"),
+		rejections:   rec.Counter("controlplane.rejections"),
+		queryLatency: rec.Histogram("controlplane.query_latency_sec", latencyBounds),
+		solveLatency: rec.Histogram("controlplane.solve_latency_sec", latencyBounds),
+	}
+}
+
+// New builds a server: the shared carbon source, N worker shards, and the
+// HTTP mux.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	src, err := carbon.SharedSource(cfg.Seed, cfg.Start.Add(-8*24*time.Hour), cfg.Start.Add(cfg.Horizon+2*24*time.Hour))
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: carbon source: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		src:      src,
+		tenants:  make(map[string]*Tenant),
+		reserved: make(map[string]bool),
+		tel:      newServerTelemetry(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, cfg.QueueDepth))
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops all shard workers. In-flight jobs finish; queued jobs fail.
+func (s *Server) Close() {
+	for _, sh := range s.shards {
+		sh.close()
+	}
+}
+
+// shardOf returns the shard owning tenant id.
+func (s *Server) shardOf(id string) *shard {
+	return s.shards[shardFor(id, len(s.shards))]
+}
+
+// tenant looks a tenant up without touching its shard.
+func (s *Server) tenant(id string) (*Tenant, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tenants[id]
+	return t, ok
+}
+
+// Tenants reports how many workflows are registered.
+func (s *Server) Tenants() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tenants)
+}
+
+// Rejections reports how many submissions admission control has shed.
+func (s *Server) Rejections() int64 { return s.rejections.Load() }
+
+// Solves reports how many plan generations have been served.
+func (s *Server) Solves() int64 { return s.solves.Load() }

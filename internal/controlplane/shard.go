@@ -1,0 +1,125 @@
+// shard.go implements the control plane's worker shards. A tenant hashes
+// to exactly one shard (FNV(tenant id) mod N), and that shard's single
+// worker goroutine owns all mutation of the tenant's planning stack —
+// registration, delta ingestion, forced solves — serialized through a
+// bounded job queue. The bound is the admission-control surface: a full
+// queue rejects immediately (the handler maps that to 429 + Retry-After)
+// instead of letting solve backlog grow without limit. Plan queries never
+// touch a shard; they read the tenant's atomic snapshot directly.
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"caribou/internal/telemetry"
+)
+
+// ErrOverloaded reports a shard queue at capacity; handlers translate it
+// to 429 Too Many Requests.
+var ErrOverloaded = errors.New("controlplane: shard queue full")
+
+// errClosed reports a submit after Close.
+var errClosed = errors.New("controlplane: server closed")
+
+// job is one unit of tenant work executed on the shard worker.
+type job struct {
+	run  func() error
+	done chan error
+}
+
+// shard owns a slice of the tenant space.
+type shard struct {
+	index int
+	jobs  chan job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	depth     *telemetry.Gauge
+	processed *telemetry.Counter
+}
+
+func newShard(index, queueDepth int) *shard {
+	rec := telemetry.Default()
+	s := &shard{
+		index:     index,
+		jobs:      make(chan job, queueDepth),
+		quit:      make(chan struct{}),
+		depth:     rec.Gauge(fmt.Sprintf("controlplane.shard.%d.queue_depth", index)),
+		processed: rec.Counter(fmt.Sprintf("controlplane.shard.%d.jobs", index)),
+	}
+	s.wg.Add(1)
+	// controlplane is an approved concurrency package: the shard worker
+	// owns its tenants' planning state for the server's lifetime.
+	go s.loop()
+	return s
+}
+
+// loop drains the job queue until Close.
+func (s *shard) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			j.done <- j.run()
+			s.processed.Inc()
+		case <-s.quit:
+			// Drain anything enqueued before the close flag was set so
+			// no submitter is left waiting.
+			for {
+				select {
+				case j := <-s.jobs:
+					j.done <- errClosed
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit enqueues fn and waits for its result. It fails fast with
+// ErrOverloaded when the queue is at capacity — the §6 manager never
+// queues unbounded work; excess re-plan pressure is shed to the client.
+func (s *shard) submit(fn func() error) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return errClosed
+	}
+	j := job{run: fn, done: make(chan error, 1)}
+	select {
+	case s.jobs <- j:
+		s.depth.Max(int64(len(s.jobs)))
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		return ErrOverloaded
+	}
+	return <-j.done
+}
+
+// close stops the worker after the current job.
+func (s *shard) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// shardFor maps a tenant ID onto one of n shards.
+func shardFor(id string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,113 @@
+package controlplane
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"caribou/internal/platform"
+	"caribou/internal/region"
+	"caribou/internal/workloads"
+)
+
+func TestSynthDeterministic(t *testing.T) {
+	wl := workloads.Text2SpeechCensoring()
+	at := DefaultStart.Add(3 * time.Hour)
+	a := newSynthesizer(wl, region.USEast1, 42).expand(10, workloads.Small, at, time.Hour)
+	b := newSynthesizer(wl, region.USEast1, 42).expand(10, workloads.Small, at, time.Hour)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("expanded %d/%d records, want 10", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("record %d differs across identically seeded synthesizers:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+
+	c := newSynthesizer(wl, region.USEast1, 43).expand(10, workloads.Small, at, time.Hour)
+	same := true
+	for i := range a {
+		if !reflect.DeepEqual(a[i], c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical records")
+	}
+}
+
+func TestSynthCapsExpansion(t *testing.T) {
+	wl := workloads.ImageProcessing()
+	sy := newSynthesizer(wl, region.USEast1, 1)
+	recs := sy.expand(100000, workloads.Small, DefaultStart, time.Hour)
+	if len(recs) != maxSynthPerDelta {
+		t.Errorf("expanded %d records, want cap %d", len(recs), maxSynthPerDelta)
+	}
+	if sy.expand(0, workloads.Small, DefaultStart, time.Hour) != nil {
+		t.Error("zero-invocation delta synthesized records")
+	}
+}
+
+func TestSynthRecordShape(t *testing.T) {
+	wl := workloads.Text2SpeechCensoring()
+	recs := newSynthesizer(wl, region.USEast1, 7).expand(5, workloads.Large, DefaultStart.Add(time.Hour), time.Hour)
+	for _, rec := range recs {
+		if rec.Workflow != wl.DAG.Name() || !rec.Succeeded {
+			t.Fatalf("record header: %+v", rec)
+		}
+		if rec.End.Before(rec.Start) {
+			t.Errorf("record ends before it starts: %v .. %v", rec.Start, rec.End)
+		}
+		executed := map[string]bool{}
+		for _, e := range rec.Executions {
+			if e.Region != region.USEast1 {
+				t.Errorf("synthetic execution off the home region: %v", e.Region)
+			}
+			if e.DurationSec <= 0 || e.MemoryMB <= 0 {
+				t.Errorf("degenerate execution: %+v", e)
+			}
+			executed[string(e.Node)] = true
+		}
+		if !executed[string(wl.DAG.Start())] {
+			t.Error("start node did not execute")
+		}
+		var entries, outputs int
+		for _, tr := range rec.Transfers {
+			switch tr.Kind {
+			case platform.TransferEntry:
+				entries++
+			case platform.TransferOutput:
+				outputs++
+				if !executed[string(tr.FromNode)] {
+					t.Errorf("output transfer from unexecuted node %s", tr.FromNode)
+				}
+			}
+		}
+		if entries != 1 {
+			t.Errorf("entry transfers = %d, want 1", entries)
+		}
+		if outputs == 0 {
+			t.Error("no terminal output transfer")
+		}
+	}
+}
+
+// TestSynthTimestampsSpreadAcrossWindow pins the spacing rule: records
+// land inside (at-window, at], newest last.
+func TestSynthTimestampsSpreadAcrossWindow(t *testing.T) {
+	wl := workloads.ImageProcessing()
+	at := DefaultStart.Add(6 * time.Hour)
+	recs := newSynthesizer(wl, region.USEast1, 1).expand(8, workloads.Small, at, 2*time.Hour)
+	lo := at.Add(-2 * time.Hour)
+	var prev time.Time
+	for i, rec := range recs {
+		if rec.Start.Before(lo) || rec.Start.After(at) {
+			t.Errorf("record %d at %v outside (%v, %v]", i, rec.Start, lo, at)
+		}
+		if i > 0 && !rec.Start.After(prev) {
+			t.Errorf("record %d not newer than predecessor", i)
+		}
+		prev = rec.Start
+	}
+}

@@ -1,0 +1,344 @@
+// tenant.go holds the per-workflow state the control plane serves: the
+// tenant's metric window, solver, event-driven token bucket, and the
+// atomically published plan snapshot that GET /plan reads lock-free.
+//
+// Determinism boundary: everything that shapes plan *content* — synthetic
+// records, token accrual, solve scheduling, the solver's RNG — derives
+// from (tenant seed, pushed trace deltas) and the tenant's virtual time
+// vnow (the maximum delta timestamp seen). The serving Clock never leaks
+// in, so a scripted request sequence produces byte-identical plan bodies
+// across runs and across any shard count.
+package controlplane
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/manager"
+	"caribou/internal/metrics"
+	"caribou/internal/montecarlo"
+	"caribou/internal/netmodel"
+	"caribou/internal/region"
+	"caribou/internal/solver"
+	"caribou/internal/workloads"
+
+	"caribou/internal/carbon"
+	"caribou/internal/pricing"
+)
+
+// TenantSpec is the registration-time configuration of one workflow.
+type TenantSpec struct {
+	ID       string
+	Workload *workloads.Workload
+	Home     region.ID
+	Regions  []region.ID
+	Priority solver.Priority
+	// Hourly enables 24-plan solves when the budget affords them; daily
+	// tenants are pinned to single-plan generations.
+	Hourly        bool
+	InitialTokens float64
+	Seed          int64
+}
+
+// PlanSnapshot is the immutable plan state published after each solve and
+// read lock-free by GET /plan via atomic.Pointer. Times are tenant virtual
+// time.
+type PlanSnapshot struct {
+	Version     int
+	Granularity manager.Granularity
+	GeneratedAt time.Time
+	ExpiresAt   time.Time
+	Plans       dag.HourlyPlans
+	CarbonMean  float64 // gCO2e per invocation at generation time
+	LatencyMean float64 // seconds
+	CostMean    float64 // USD
+}
+
+// PlanAt returns the assignment serving traffic at virtual time t.
+func (s *PlanSnapshot) PlanAt(t time.Time) dag.Plan {
+	return s.Plans[t.UTC().Hour()]
+}
+
+// Stale reports whether the snapshot has lapsed at virtual time t.
+func (s *PlanSnapshot) Stale(t time.Time) bool {
+	return t.After(s.ExpiresAt)
+}
+
+// Tenant is one registered workflow. All mutation happens on the owning
+// shard's worker goroutine; the plan pointer and virtual time are the only
+// cross-goroutine reads.
+type Tenant struct {
+	spec   TenantSpec
+	mm     *metrics.Manager
+	solv   *solver.Solver
+	stream *manager.Stream
+	synth  *synthesizer
+
+	plan     atomic.Pointer[PlanSnapshot]
+	vnowNano atomic.Int64
+
+	versions int
+	deltas   int
+}
+
+// TenantSeed derives a tenant's RNG seed from the server seed and its ID —
+// stable across runs and independent of registration order.
+func TenantSeed(serverSeed int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return serverSeed ^ int64(h.Sum64())
+}
+
+// newTenant builds the tenant's full planning stack and runs its initial
+// budget check at virtual time start. The carbon source and catalogue are
+// shared server-wide; each tenant gets its own metric window, estimator,
+// and solver seeded from spec.Seed.
+func newTenant(spec TenantSpec, cat *region.Catalogue, src carbon.Source, start time.Time, maxIterations int) (*Tenant, error) {
+	sub, err := cat.Subset(spec.Regions)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: region set: %w", spec.ID, err)
+	}
+	net := netmodel.New(sub)
+	mm := metrics.New(spec.Workload.DAG, spec.Home, sub, net, src, pricing.DefaultBook())
+	est := montecarlo.New(mm, carbon.BestCase(), spec.Seed)
+	solv, err := solver.New(solver.Config{
+		Inputs:    mm,
+		Estimator: est,
+		Objective: solver.Objective{
+			Priority:   spec.Priority,
+			Tolerances: solver.Tolerances{Latency: solver.Tol(25)},
+		},
+		Seed:          spec.Seed,
+		MaxIterations: maxIterations,
+		Workers:       1, // shard workers provide the concurrency
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: solver: %w", spec.ID, err)
+	}
+	stream := manager.NewStream(manager.Config{InitialTokens: spec.InitialTokens}, spec.Home, start)
+	if spec.InitialTokens == 0 {
+		// Default grant: twice the daily solve cost (priced at a
+		// conservative 400 gCO2e/kWh), so registration always affords an
+		// initial plan and leaves budget for one re-solve.
+		daily := stream.Config().SolveCost(400, spec.Workload.DAG.Len(), len(spec.Regions), false)
+		stream = manager.NewStream(manager.Config{InitialTokens: 2 * daily}, spec.Home, start)
+	}
+	t := &Tenant{
+		spec:   spec,
+		mm:     mm,
+		solv:   solv,
+		stream: stream,
+		synth:  newSynthesizer(spec.Workload, spec.Home, spec.Seed),
+	}
+	t.vnowNano.Store(start.UnixNano())
+
+	// Warm the metric window with a day of synthetic home-region traffic
+	// preceding start, so the solver's home baseline and the estimator's
+	// duration distributions exist before the first real delta arrives.
+	for _, rec := range t.synth.expand(24, workloads.Small, start, 24*time.Hour) {
+		mm.Ingest(rec)
+	}
+	// Registration runs the first budget check immediately: with an
+	// initial token grant the tenant has a plan before its first query.
+	t.check(start)
+	return t, nil
+}
+
+// VNow reports the tenant's virtual time: the newest trace timestamp.
+func (t *Tenant) VNow() time.Time { return time.Unix(0, t.vnowNano.Load()).UTC() }
+
+// Plan returns the current snapshot (nil before the first solve). Safe
+// from any goroutine.
+func (t *Tenant) Plan() *PlanSnapshot { return t.plan.Load() }
+
+// Tokens reports the stream's current budget. Shard-worker only.
+func (t *Tenant) Tokens() float64 { return t.stream.Tokens() }
+
+// advance moves virtual time forward monotonically.
+func (t *Tenant) advance(at time.Time) time.Time {
+	now := t.VNow()
+	if at.After(now) {
+		t.vnowNano.Store(at.UnixNano())
+		return at.UTC()
+	}
+	return now
+}
+
+// Delta is one pushed trace increment.
+type Delta struct {
+	At          time.Time
+	Invocations int
+	Class       workloads.InputClass
+	// MeanRuntimeSec overrides the workload's analytic mean service time
+	// in accrual; zero uses the analytic value.
+	MeanRuntimeSec float64
+}
+
+// DeltaResult reports what one delta did to the tenant.
+type DeltaResult struct {
+	Earned      float64
+	Tokens      float64
+	Solved      bool
+	Skipped     bool
+	Granularity manager.Granularity
+	NextDue     time.Time
+}
+
+// OnDelta ingests a trace delta: advances virtual time, expands the delta
+// into synthetic records, accrues tokens under the shared §5.2 rule, and
+// runs a budget check when one is due. Shard-worker only.
+func (t *Tenant) OnDelta(d Delta) (DeltaResult, error) {
+	prev := t.VNow()
+	now := t.advance(d.At)
+	t.deltas++
+
+	window := now.Sub(prev)
+	for _, rec := range t.synth.expand(d.Invocations, d.Class, now, window) {
+		t.mm.Ingest(rec)
+	}
+
+	res := DeltaResult{}
+	if d.Invocations > 0 {
+		runtime := d.MeanRuntimeSec
+		if runtime <= 0 {
+			runtime = t.spec.Workload.MeanServiceTimeSec(d.Class)
+		}
+		homeI, minI, err := t.intensitySpread(now)
+		if err != nil {
+			return res, fmt.Errorf("tenant %s: accrual: %w", t.spec.ID, err)
+		}
+		res.Earned = t.stream.Accrue(d.Invocations, runtime, homeI, minI)
+	}
+
+	if t.stream.Due(now) {
+		g, err := t.check(now)
+		if err != nil {
+			return res, err
+		}
+		res.Granularity = g
+		res.Solved = g != manager.GranularityNone
+		res.Skipped = !res.Solved
+	}
+	res.Tokens = t.stream.Tokens()
+	res.NextDue = t.stream.NextDue()
+	return res, nil
+}
+
+// intensitySpread returns the home region's intensity and the greenest
+// reachable region's at virtual time now.
+func (t *Tenant) intensitySpread(now time.Time) (homeI, minI float64, err error) {
+	homeI, err = t.mm.IntensityAt(t.spec.Home, now, now)
+	if err != nil {
+		return 0, 0, err
+	}
+	minI = homeI
+	for _, id := range t.mm.Catalogue().IDs() {
+		v, err := t.mm.IntensityAt(id, now, now)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v < minI {
+			minI = v
+		}
+	}
+	return homeI, minI, nil
+}
+
+// costs prices the two solve granularities at the tenant's home intensity
+// (conservative 400 gCO2e/kWh when the lookup fails). Daily-pinned
+// tenants get an infinite hourly cost so Decide never upgrades them.
+func (t *Tenant) costs(now time.Time) (hourly, daily float64) {
+	intensity, err := t.mm.IntensityAt(t.spec.Home, now, now)
+	if err != nil {
+		intensity = 400
+	}
+	cfg := t.stream.Config()
+	daily = cfg.SolveCost(intensity, t.mm.DAG().Len(), t.mm.Catalogue().Len(), false)
+	if t.spec.Hourly {
+		hourly = cfg.SolveCost(intensity, t.mm.DAG().Len(), t.mm.Catalogue().Len(), true)
+	} else {
+		hourly = math.Inf(1)
+	}
+	return hourly, daily
+}
+
+// check runs one due budget decision at virtual time now: solve at the
+// affordable granularity and publish a fresh snapshot, or record a skip
+// (which expires the active plan, routing traffic home). Shard-worker
+// only.
+func (t *Tenant) check(now time.Time) (manager.Granularity, error) {
+	hourlyCost, dailyCost := t.costs(now)
+	g := t.stream.Decide(hourlyCost, dailyCost)
+	switch g {
+	case manager.GranularityNone:
+		t.stream.NoteSkip(now, dailyCost)
+		return g, nil
+	case manager.GranularityHourly:
+		if err := t.solve(now, true, hourlyCost, g); err != nil {
+			return manager.GranularityNone, err
+		}
+	case manager.GranularityDaily:
+		if err := t.solve(now, false, dailyCost, g); err != nil {
+			return manager.GranularityNone, err
+		}
+	}
+	return g, nil
+}
+
+// ForceCheck runs an out-of-band budget check (POST /solve). It reports
+// GranularityNone without scheduling side effects when the budget covers
+// no solve, so callers can map it to 409.
+func (t *Tenant) ForceCheck(now time.Time) (manager.Granularity, error) {
+	hourlyCost, dailyCost := t.costs(now)
+	if t.stream.Decide(hourlyCost, dailyCost) == manager.GranularityNone {
+		return manager.GranularityNone, nil
+	}
+	return t.check(now)
+}
+
+// solve runs one plan generation and atomically publishes the result.
+func (t *Tenant) solve(now time.Time, hourly bool, cost float64, g manager.Granularity) error {
+	var plans dag.HourlyPlans
+	var est *montecarlo.Estimate
+	if hourly {
+		hp, results, err := t.solv.SolveHourly(dayStart(now), now)
+		if err != nil {
+			return fmt.Errorf("tenant %s: hourly solve: %w", t.spec.ID, err)
+		}
+		plans = hp
+		est = results[now.UTC().Hour()].Estimate
+	} else {
+		res, err := t.solv.SolveOne(now, now)
+		if err != nil {
+			return fmt.Errorf("tenant %s: daily solve: %w", t.spec.ID, err)
+		}
+		plans = dag.Uniform(res.Plan)
+		est = res.Estimate
+	}
+	t.stream.NoteSolve(now, cost, plans)
+	t.versions++
+	snap := &PlanSnapshot{
+		Version:     t.versions,
+		Granularity: g,
+		GeneratedAt: now,
+		ExpiresAt:   t.stream.PlanExpiry(),
+		Plans:       plans,
+	}
+	if est != nil {
+		snap.CarbonMean = est.CarbonMean
+		snap.LatencyMean = est.LatencyMean
+		snap.CostMean = est.CostMean
+	}
+	t.plan.Store(snap)
+	return nil
+}
+
+// dayStart truncates t to the UTC day boundary SolveHourly expects.
+func dayStart(t time.Time) time.Time {
+	u := t.UTC()
+	return time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC)
+}

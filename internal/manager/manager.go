@@ -221,10 +221,28 @@ func (m *Manager) Tick(now time.Time) (bool, error) {
 	return activated, nil
 }
 
-// earnTokens converts the last period's observed traffic into a carbon
+// TrafficTokens converts a window of observed traffic into a carbon
 // budget: invocations × mean runtime × per-second execution energy ×
-// (home intensity − greenest intensity) × PUE. The sliding-window
-// assumption of §5.2 — next period resembles the last — is explicit here.
+// (home intensity − greenest intensity) × PUE. It is the accrual rule of
+// §5.2 shared by the Tick-driven Manager and the event-driven Stream; a
+// non-positive intensity differential earns nothing.
+func TrafficTokens(invocations int, meanRuntimeSec, homeIntensity, minIntensity float64) float64 {
+	if invocations == 0 {
+		return 0
+	}
+	diff := homeIntensity - minIntensity
+	if diff <= 0 {
+		return 0
+	}
+	// Representative per-second execution energy of one stage.
+	energyPerSec := carbon.ExecutionEnergyKWh(1769, 1, 0.8)
+	perInvocation := meanRuntimeSec * energyPerSec * diff * carbon.PUE
+	return float64(invocations) * perInvocation
+}
+
+// earnTokens converts the last period's observed traffic into a carbon
+// budget via TrafficTokens. The sliding-window assumption of §5.2 — next
+// period resembles the last — is explicit here.
 func (m *Manager) earnTokens(now time.Time) (float64, error) {
 	invocations := m.mm.InvocationsSince(m.lastCheck)
 	if invocations == 0 {
@@ -246,32 +264,31 @@ func (m *Manager) earnTokens(now time.Time) (float64, error) {
 			minI = v
 		}
 	}
-	diff := homeI - minI
-	if diff <= 0 {
-		return 0, nil
-	}
-	// Representative per-second execution energy of one stage.
-	energyPerSec := carbon.ExecutionEnergyKWh(1769, 1, 0.8)
-	perInvocation := meanRuntime * energyPerSec * diff * carbon.PUE
-	return float64(invocations) * perInvocation, nil
+	return TrafficTokens(invocations, meanRuntime, homeI, minI), nil
 }
 
-// solveCost estimates the carbon cost of one plan generation: solver
-// compute time (scaling with DAG size and region count — application
-// complexity, §5.2) priced at the framework region's intensity. hourly
-// solves cost 24× a single daily solve.
-func (m *Manager) solveCost(now time.Time, hourly bool) float64 {
-	d := m.mm.DAG()
-	estimates := float64(d.Len()) * float64(m.mm.Catalogue().Len()) * 6
-	seconds := estimates * m.cfg.SolveSecondsPerEstimate
+// SolveCost estimates the carbon cost of one plan generation for a DAG of
+// dagNodes stages solved over a catalogue of regions candidate regions:
+// solver compute time (scaling with DAG size and region count —
+// application complexity, §5.2) priced at the given grid intensity.
+// hourly solves cost 24× a single daily solve.
+func (c Config) SolveCost(intensity float64, dagNodes, regions int, hourly bool) float64 {
+	estimates := float64(dagNodes) * float64(regions) * 6
+	seconds := estimates * c.SolveSecondsPerEstimate
 	if hourly {
 		seconds *= 24
 	}
+	return carbon.ExecutionCarbon(intensity, c.SolverMemoryMB, seconds, c.SolverUtil)
+}
+
+// solveCost prices one plan generation at the framework region's current
+// intensity (conservative 400 gCO2eq/kWh when the lookup fails).
+func (m *Manager) solveCost(now time.Time, hourly bool) float64 {
 	intensity, err := m.mm.IntensityAt(m.cfg.FrameworkRegion, now, now)
 	if err != nil {
 		intensity = 400 // conservative default
 	}
-	return carbon.ExecutionCarbon(intensity, m.cfg.SolverMemoryMB, seconds, m.cfg.SolverUtil)
+	return m.cfg.SolveCost(intensity, m.mm.DAG().Len(), m.mm.Catalogue().Len(), hourly)
 }
 
 func (m *Manager) solveAndRollout(now time.Time, hourly bool, validity time.Duration) error {
@@ -327,60 +344,76 @@ func (m *Manager) chargeMigration(bytes float64, now time.Time) {
 	m.OverheadGrams += carbon.WorstCase().Carbon(intensity, intensity, false, bytes)
 }
 
-// updateStability compares the fresh plan set with the previous one and
-// doubles the check backoff when at least three quarters of the hourly
-// assignments are unchanged; otherwise the cadence resets.
-func (m *Manager) updateStability(plans dag.HourlyPlans) {
-	if m.lastPlans != nil {
-		same, total := 0, 0
-		for h := range plans {
-			for n, r := range plans[h] {
-				total++
-				if m.lastPlans[h][n] == r {
-					same++
-				}
+// planStability implements the learning-phase backoff of Fig 11 as a pure
+// rule shared by Manager and Stream: the multiplicative factor doubles
+// (capped at Max/Min) when at least three quarters of the hourly
+// assignments are unchanged from the previous plan set; otherwise the
+// cadence resets. A nil prev (first solve) leaves the factor untouched.
+func (c Config) planStability(prev *dag.HourlyPlans, plans dag.HourlyPlans, factor float64) float64 {
+	if prev == nil {
+		return factor
+	}
+	same, total := 0, 0
+	for h := range plans {
+		for n, r := range plans[h] {
+			total++
+			if prev[h][n] == r {
+				same++
 			}
-		}
-		if total > 0 && float64(same)/float64(total) >= 0.75 {
-			m.stabilityFactor *= 2
-			maxFactor := m.cfg.MaxCheckInterval.Hours() / m.cfg.MinCheckInterval.Hours()
-			if m.stabilityFactor > maxFactor {
-				m.stabilityFactor = maxFactor
-			}
-		} else {
-			m.stabilityFactor = 1
 		}
 	}
+	if total > 0 && float64(same)/float64(total) >= 0.75 {
+		factor *= 2
+		maxFactor := c.MaxCheckInterval.Hours() / c.MinCheckInterval.Hours()
+		if factor > maxFactor {
+			factor = maxFactor
+		}
+	} else {
+		factor = 1
+	}
+	return factor
+}
+
+// updateStability compares the fresh plan set with the previous one and
+// adjusts the check backoff per the planStability rule.
+func (m *Manager) updateStability(plans dag.HourlyPlans) {
+	m.stabilityFactor = m.cfg.planStability(m.lastPlans, plans, m.stabilityFactor)
 	cp := plans
 	m.lastPlans = &cp
 }
 
-// checkInterval schedules the next token check: the shortfall between the
-// solve cost and the earning rate, smoothed by a sigmoid into
-// [MinCheckInterval, MaxCheckInterval] so the cadence tracks the past
-// period's invocation rate (§5.2), stretched by the plan-stability
+// scheduleInterval is the §5.2 cadence rule shared by Manager and Stream:
+// the shortfall between the solve cost and the earning rate, smoothed by a
+// sigmoid into [MinCheckInterval, MaxCheckInterval] so the cadence tracks
+// the past period's invocation rate, stretched by the plan-stability
 // backoff.
-func (m *Manager) checkInterval(cost, periodHours float64) time.Duration {
-	rate := m.lastEarned / periodHours // tokens per hour
+func (c Config) scheduleInterval(tokens, cost, ratePerHour, stabilityFactor float64) time.Duration {
 	var hoursNeeded float64
 	switch {
-	case m.tokens >= cost:
+	case tokens >= cost:
 		hoursNeeded = 0
-	case rate <= 0:
-		hoursNeeded = m.cfg.MaxCheckInterval.Hours()
+	case ratePerHour <= 0:
+		hoursNeeded = c.MaxCheckInterval.Hours()
 	default:
-		hoursNeeded = (cost - m.tokens) / rate
+		hoursNeeded = (cost - tokens) / ratePerHour
 	}
-	minH := m.cfg.MinCheckInterval.Hours()
-	maxH := m.cfg.MaxCheckInterval.Hours()
+	minH := c.MinCheckInterval.Hours()
+	maxH := c.MaxCheckInterval.Hours()
 	mid := (minH + maxH) / 2
 	s := 1 / (1 + math.Exp(-(hoursNeeded-mid)/(maxH/8)))
 	h := minH + (maxH-minH)*s
-	if stable := minH * m.stabilityFactor; stable > h {
+	if stable := minH * stabilityFactor; stable > h {
 		h = stable
 	}
 	if h > maxH {
 		h = maxH
 	}
 	return time.Duration(h * float64(time.Hour))
+}
+
+// checkInterval schedules the next token check from the Manager's pulled
+// window: the last period's earning rate feeds the shared cadence rule.
+func (m *Manager) checkInterval(cost, periodHours float64) time.Duration {
+	rate := m.lastEarned / periodHours // tokens per hour
+	return m.cfg.scheduleInterval(m.tokens, cost, rate, m.stabilityFactor)
 }

@@ -1,0 +1,299 @@
+package manager
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"caribou/internal/dag"
+	"caribou/internal/region"
+)
+
+// streamCfg mirrors the defaulted Config the fixed-window tests run with,
+// so the event-driven assertions line up with the Tick-driven ones.
+func streamCfg() Config {
+	return Config{MinCheckInterval: 6 * time.Hour, MaxCheckInterval: 48 * time.Hour}
+}
+
+// samplePlans builds a stable all-hours plan set for stability tests.
+func samplePlans(r region.ID) dag.HourlyPlans {
+	var plans dag.HourlyPlans
+	for h := range plans {
+		plans[h] = dag.Plan{"a": r, "b": r, "c": r}
+	}
+	return plans
+}
+
+func TestStreamAccrualFromDeltas(t *testing.T) {
+	s := NewStream(streamCfg(), region.USEast1, t0)
+	if s.Tokens() != 0 {
+		t.Fatalf("tokens = %v before any delta", s.Tokens())
+	}
+
+	// Three incremental deltas: the balance is the running sum of the
+	// shared §5.2 accrual rule applied per delta.
+	var want float64
+	deltas := []struct {
+		invocations int
+		runtime     float64
+		home, min   float64
+	}{
+		{50, 1.2, 450, 120},
+		{75, 0.9, 380, 140},
+		{10, 2.5, 500, 90},
+	}
+	for _, d := range deltas {
+		earned := s.Accrue(d.invocations, d.runtime, d.home, d.min)
+		exp := TrafficTokens(d.invocations, d.runtime, d.home, d.min)
+		if earned != exp {
+			t.Errorf("Accrue = %v, want TrafficTokens = %v", earned, exp)
+		}
+		if earned <= 0 {
+			t.Errorf("delta %+v earned nothing", d)
+		}
+		want += exp
+	}
+	if got := s.Tokens(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("tokens = %v, want accumulated %v", got, want)
+	}
+
+	// Zero invocations or an inverted intensity differential earn nothing.
+	if got := s.Accrue(0, 1, 500, 100); got != 0 {
+		t.Errorf("zero-invocation delta earned %v", got)
+	}
+	if got := s.Accrue(100, 1, 100, 500); got != 0 {
+		t.Errorf("negative differential earned %v", got)
+	}
+}
+
+func TestStreamAccrualMatchesManagerWindow(t *testing.T) {
+	// Event-driven accrual over N single-invocation deltas must equal the
+	// Tick-driven Manager's one pulled window of N invocations.
+	const n, runtime, home, min = 120, 1.5, 430.0, 110.0
+	s := NewStream(streamCfg(), region.USEast1, t0)
+	for i := 0; i < n; i++ {
+		s.Accrue(1, runtime, home, min)
+	}
+	want := TrafficTokens(n, runtime, home, min)
+	if got := s.Tokens(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("streamed accrual %v != windowed accrual %v", got, want)
+	}
+}
+
+func TestStreamGranularityDowngradeMidStream(t *testing.T) {
+	cfg := streamCfg().withDefaults(region.USEast1)
+	s := NewStream(cfg, region.USEast1, t0)
+	hourly := cfg.SolveCost(400, 5, 4, true)
+	daily := cfg.SolveCost(400, 5, 4, false)
+
+	// Ample budget → full hourly solve.
+	s.tokens = 1.5 * hourly
+	if g := s.Decide(hourly, daily); g != GranularityHourly {
+		t.Fatalf("granularity = %v with ample budget, want hourly", g)
+	}
+	now := t0.Add(6 * time.Hour)
+	s.NoteSolve(now, hourly, samplePlans(region.USEast1))
+	if s.Solves() != 1 {
+		t.Fatalf("solves = %d", s.Solves())
+	}
+
+	// The solve debit tightened the budget mid-stream: the remaining
+	// tokens cover only a single daily plan.
+	if s.Tokens() >= hourly {
+		t.Fatalf("tokens %v not tightened below hourly cost %v", s.Tokens(), hourly)
+	}
+	if g := s.Decide(hourly, daily); g != GranularityDaily {
+		t.Errorf("granularity = %v under tight budget, want daily downgrade", g)
+	}
+
+	// Drained entirely → no solve at all.
+	s.tokens = daily / 2
+	if g := s.Decide(hourly, daily); g != GranularityNone {
+		t.Errorf("granularity = %v with drained budget, want none", g)
+	}
+
+	// A daily-pinned tenant never upgrades, however large the budget.
+	s.tokens = 100 * hourly
+	if g := s.Decide(math.Inf(1), daily); g != GranularityDaily {
+		t.Errorf("granularity = %v with infinite hourly cost, want daily", g)
+	}
+}
+
+func TestStreamPlanExpiryUnderStalledFeed(t *testing.T) {
+	cfg := streamCfg().withDefaults(region.USEast1)
+	s := NewStream(cfg, region.USEast1, t0)
+	daily := cfg.SolveCost(400, 5, 4, false)
+	s.tokens = daily * 1.5
+	if !s.Due(t0) {
+		t.Fatal("first check not due at start")
+	}
+	s.NoteSolve(t0, daily, samplePlans(region.USEast1))
+
+	expiry := s.PlanExpiry()
+	if expiry.IsZero() {
+		t.Fatal("no expiry recorded after solve")
+	}
+	if s.PlanExpired(expiry) {
+		t.Error("plan expired at its own expiry instant")
+	}
+
+	// The delta feed stalls: only zero-invocation heartbeats advance the
+	// stream's virtual time, earning nothing. Once that time passes the
+	// expiry, the plan lapses and the budget affords no replacement —
+	// traffic routes home until tokens recover.
+	heartbeat := expiry.Add(time.Minute)
+	s.Accrue(0, 0, 0, 0)
+	if !s.PlanExpired(heartbeat) {
+		t.Error("stalled feed did not expire the plan")
+	}
+	if s.Due(heartbeat) {
+		hourly := cfg.SolveCost(400, 5, 4, true)
+		if g := s.Decide(hourly, daily); g != GranularityNone {
+			t.Errorf("granularity = %v after stall, want none", g)
+		}
+		s.NoteSkip(heartbeat, daily)
+	}
+	if s.Solves() != 1 {
+		t.Errorf("solves = %d; stalled feed must not trigger a new solve", s.Solves())
+	}
+}
+
+func TestStreamNoSolveWithoutTokens(t *testing.T) {
+	cfg := streamCfg().withDefaults(region.USEast1)
+	s := NewStream(cfg, region.USEast1, t0)
+	hourly := cfg.SolveCost(400, 5, 4, true)
+	daily := cfg.SolveCost(400, 5, 4, false)
+
+	if g := s.Decide(hourly, daily); g != GranularityNone {
+		t.Fatalf("granularity = %v with zero tokens, want none", g)
+	}
+	s.NoteSkip(t0, daily)
+	if s.SolveSkips() != 1 || s.Solves() != 0 {
+		t.Errorf("skips=%d solves=%d after tokenless check", s.SolveSkips(), s.Solves())
+	}
+	// The skip schedules a future check: not due again immediately.
+	if s.Due(t0.Add(time.Minute)) {
+		t.Error("check due again immediately after a skip")
+	}
+	if !s.NextDue().After(t0) {
+		t.Error("skip did not schedule a next check")
+	}
+}
+
+func TestStreamSkipExpiresActivePlan(t *testing.T) {
+	cfg := streamCfg().withDefaults(region.USEast1)
+	s := NewStream(cfg, region.USEast1, t0)
+	daily := cfg.SolveCost(400, 5, 4, false)
+	s.tokens = daily
+	s.NoteSolve(t0, daily, samplePlans(region.USEast1))
+
+	// A due check with an empty budget expires the pre-determined
+	// deployment immediately (§5.2), mirroring Manager.Tick's dep.Expire.
+	now := t0.Add(cfg.MinCheckInterval)
+	if s.PlanExpired(now) {
+		t.Fatal("plan already expired before the check")
+	}
+	s.NoteSkip(now, daily)
+	if !s.PlanExpired(now.Add(time.Nanosecond)) {
+		t.Error("tokenless check did not expire the active plan")
+	}
+}
+
+func TestStreamScheduleWithinBounds(t *testing.T) {
+	cfg := streamCfg().withDefaults(region.USEast1)
+	daily := cfg.SolveCost(400, 5, 4, false)
+
+	cases := []struct {
+		name   string
+		tokens float64
+		earned float64
+	}{
+		{"rich", daily * 10, daily},
+		{"poor", 0, 0},
+		{"earning", daily / 4, daily / 2},
+	}
+	for _, tc := range cases {
+		s := NewStream(cfg, region.USEast1, t0)
+		s.tokens = tc.tokens
+		s.periodEarned = tc.earned
+		now := t0.Add(3 * time.Hour)
+		s.NoteSkip(now, daily)
+		gap := s.NextDue().Sub(now)
+		if gap < cfg.MinCheckInterval || gap > cfg.MaxCheckInterval {
+			t.Errorf("%s: next-due gap %v outside [%v, %v]", tc.name, gap, cfg.MinCheckInterval, cfg.MaxCheckInterval)
+		}
+	}
+}
+
+func TestStreamStabilityBackoffGrows(t *testing.T) {
+	cfg := streamCfg().withDefaults(region.USEast1)
+	s := NewStream(cfg, region.USEast1, t0)
+	daily := cfg.SolveCost(400, 5, 4, false)
+	plans := samplePlans(region.USEast1)
+
+	// Identical consecutive plan sets back the cadence off multiplicatively,
+	// exactly as Fig 11's learning phase.
+	var gaps []time.Duration
+	now := t0
+	for i := 0; i < 3; i++ {
+		// Keep the budget comfortable so the cadence is driven by the
+		// stability backoff, not by a token shortfall.
+		s.tokens = 2 * daily
+		s.NoteSolve(now, daily, plans)
+		gap := s.NextDue().Sub(now)
+		gaps = append(gaps, gap)
+		now = s.NextDue()
+	}
+	if gaps[2] <= gaps[0] {
+		t.Errorf("gaps did not grow under stable plans: %v", gaps)
+	}
+
+	// A shifted plan set resets the cadence.
+	shifted := samplePlans(region.USWest2)
+	s.tokens = 2 * daily
+	s.NoteSolve(now, daily, shifted)
+	reset := s.NextDue().Sub(now)
+	if reset >= gaps[2] {
+		t.Errorf("plan shift did not reset the backoff: %v !< %v", reset, gaps[2])
+	}
+}
+
+func TestStreamSolveCostMatchesManager(t *testing.T) {
+	// The Stream prices solves through the same Config.SolveCost the
+	// Manager delegates to — pin the hourly/daily ratio it guarantees.
+	cfg := streamCfg().withDefaults(region.USEast1)
+	hourly := cfg.SolveCost(400, 5, 4, true)
+	daily := cfg.SolveCost(400, 5, 4, false)
+	if hourly <= daily {
+		t.Errorf("hourly %v should exceed daily %v", hourly, daily)
+	}
+	if r := hourly / daily; r < 23.9 || r > 24.1 {
+		t.Errorf("hourly/daily = %v, want 24", r)
+	}
+}
+
+func TestStreamFirstCheckDueImmediately(t *testing.T) {
+	s := NewStream(streamCfg(), region.USEast1, t0)
+	if !s.Due(t0) {
+		t.Error("stream not due at its start time")
+	}
+	if s.PlanExpired(t0) {
+		t.Error("plan expired before any solve")
+	}
+	if !s.PlanExpiry().IsZero() {
+		t.Error("non-zero expiry before any solve")
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	cases := map[Granularity]string{
+		GranularityNone:   "none",
+		GranularityDaily:  "daily",
+		GranularityHourly: "hourly",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(g), got, want)
+		}
+	}
+}
