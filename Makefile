@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json verify eval-output
+.PHONY: all build test race vet lint bench bench-json bench-json-pr8 bench-json-pr9 sweep-clean verify eval-output
 
 all: build
 
@@ -18,7 +18,7 @@ test:
 # and the shared trace-cache concurrency tests.
 race:
 	$(GO) test -race ./internal/solver/... ./internal/montecarlo/... ./internal/telemetry/...
-	$(GO) test -race ./internal/controlplane/... ./internal/manager/...
+	$(GO) test -race ./internal/controlplane/... ./internal/manager/... ./internal/runstore/...
 	$(GO) test -race -run 'TestPool|TestFig7|TestCoarse|TestRunAll|TestDo|TestSharedSource|TestTelemetry' ./internal/eval/... ./internal/carbon/...
 
 # vet runs with the same build tags as the build (none today; set
@@ -79,6 +79,40 @@ bench-json-pr8:
 	.bench/caribou-load -addr http://$(PR8_ADDR) -tenants 10000 -deltas 3 -queries 5 -workers 128 \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR8.json -label $(LABEL); \
 	STATUS=$$?; kill $$SERVER 2>/dev/null; exit $$STATUS
+
+# bench-json-pr9 measures the durable sweep engine end-to-end: a cold
+# quick fig7-fig10 sweep into a fresh store, a warm re-sweep of the same
+# store (served entirely from disk — zero solver executions), the same
+# cold sweep split across two concurrent sharded processes, and the
+# heavy-tail pruning bench (whose pruned/op metric must be nonzero; see
+# BenchmarkSolver24HourlyHeavyTail). Everything merges into
+# BENCH_PR9.json. Numbers are host-dependent; re-run on an idle machine.
+PR9_CACHE = .bench/pr9-cache
+PR9_FIGS = fig7,fig8,fig9,fig10
+bench-json-pr9:
+	@mkdir -p .bench
+	$(GO) build -o .bench/caribou-sweep ./cmd/caribou-sweep
+	rm -rf $(PR9_CACHE) $(PR9_CACHE)-sharded
+	.bench/caribou-sweep submit -cache-dir $(PR9_CACHE) -name pr9 -figures $(PR9_FIGS) -quick
+	.bench/caribou-sweep run -cache-dir $(PR9_CACHE) -name pr9 -bench SweepColdQuick \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json -label $(LABEL)
+	.bench/caribou-sweep submit -cache-dir $(PR9_CACHE) -name pr9-warm -figures $(PR9_FIGS) -quick
+	.bench/caribou-sweep run -cache-dir $(PR9_CACHE) -name pr9-warm -bench SweepWarmQuick \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json -label $(LABEL)
+	.bench/caribou-sweep submit -cache-dir $(PR9_CACHE)-sharded -name pr9 -figures $(PR9_FIGS) -quick -shards 2
+	@.bench/caribou-sweep run -cache-dir $(PR9_CACHE)-sharded -name pr9 -owner p1 -bench SweepShard1of2 > .bench/pr9-shard1.out & \
+	P1=$$!; \
+	.bench/caribou-sweep run -cache-dir $(PR9_CACHE)-sharded -name pr9 -owner p2 -bench SweepShard2of2 > .bench/pr9-shard2.out; \
+	wait $$P1; \
+	cat .bench/pr9-shard1.out .bench/pr9-shard2.out | $(GO) run ./cmd/benchjson -out BENCH_PR9.json -label $(LABEL)
+	$(GO) test -run xxx -bench 'BenchmarkSolver24HourlyHeavyTail$$' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json -label $(LABEL)
+
+# sweep-clean removes the durable run caches: the default store
+# caribou-eval -cache-dir and caribou-sweep write to, plus the scratch
+# stores bench-json-pr9 leaves under .bench/.
+sweep-clean:
+	rm -rf .caribou-cache $(PR9_CACHE) $(PR9_CACHE)-sharded
 
 # verify is the pre-merge gate: full build + full suite + race-checked
 # solver/montecarlo/telemetry/eval-pool + vet + the determinism lint.

@@ -26,6 +26,7 @@ import (
 	"caribou/internal/region"
 	"caribou/internal/simclock"
 	"caribou/internal/solver"
+	"caribou/internal/telemetry"
 	"caribou/internal/trace"
 	"caribou/internal/workloads"
 )
@@ -240,8 +241,18 @@ var benchStart = time.Date(2023, 10, 15, 0, 0, 0, 0, time.UTC)
 // benchInputs assembles a Metric Manager with a day of learned data for
 // the Text2Speech workflow.
 func benchInputs(b *testing.B) (*metrics.Manager, *montecarlo.Estimator) {
+	return benchInputsFor(b, workloads.Text2SpeechCensoring())
+}
+
+// benchInputsFor is benchInputs for an arbitrary workload.
+func benchInputsFor(b *testing.B, wl *workloads.Workload) (*metrics.Manager, *montecarlo.Estimator) {
+	return benchInputsHome(b, wl, region.USEast1)
+}
+
+// benchInputsHome is benchInputs for an arbitrary workload and home
+// region.
+func benchInputsHome(b *testing.B, wl *workloads.Workload, home region.ID) (*metrics.Manager, *montecarlo.Estimator) {
 	b.Helper()
-	wl := workloads.Text2SpeechCensoring()
 	cat, err := region.NorthAmerica().Subset(region.EvaluationFour())
 	if err != nil {
 		b.Fatal(err)
@@ -251,7 +262,7 @@ func benchInputs(b *testing.B) (*metrics.Manager, *montecarlo.Estimator) {
 		b.Fatal(err)
 	}
 	net := netmodel.New(cat)
-	mm := metrics.New(wl.DAG, region.USEast1, cat, net, src, pricing.DefaultBook())
+	mm := metrics.New(wl.DAG, home, cat, net, src, pricing.DefaultBook())
 
 	sched := simclock.New(benchStart)
 	p, err := platform.New(platform.Options{Sched: sched, Catalogue: cat, Net: net, Seed: 1})
@@ -259,7 +270,7 @@ func benchInputs(b *testing.B) (*metrics.Manager, *montecarlo.Estimator) {
 		b.Fatal(err)
 	}
 	eng, err := executor.New(executor.Options{
-		Platform: p, Workload: wl, Home: region.USEast1, Seed: 1,
+		Platform: p, Workload: wl, Home: home, Seed: 1,
 		OnComplete: func(r *platform.InvocationRecord) { mm.Ingest(r) },
 	})
 	if err != nil {
@@ -409,6 +420,32 @@ func BenchmarkSolver24HourlyNoBatch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolver24HourlyHeavyTail is the daily plan generation on the
+// synthetic heavy-tail workload (not in Table 1), homed in the clean
+// ca-central-1 grid: per-draw durations spread over a ~2.5x coefficient
+// of variation, so Monte Carlo lanes are still unconverged at batch
+// boundaries, and candidates shifting the dominant stages into the
+// ~10x-dirtier US grids accumulate sample sums whose exact lower bound
+// overshoots the home incumbent — the solver's bound-based pruning
+// abandons them mid-evaluation. Reports pruned lanes per solve alongside
+// wall time; the pruned/op metric must be nonzero or the pruning path
+// has regressed to dead code on realistic inputs.
+func BenchmarkSolver24HourlyHeavyTail(b *testing.B) {
+	rec := telemetry.Enable(telemetry.Options{})
+	defer telemetry.Disable()
+	mm, est := benchInputsHome(b, workloads.HeavyTailAnalytics(), region.CACentral1)
+	s := newBenchSolver(b, mm, est)
+	now := benchStart.Add(24 * time.Hour)
+	pruned := rec.Counter("montecarlo.pruned_candidates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SolveHourly(now, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pruned.Value())/float64(b.N), "pruned/op")
 }
 
 // benchSnapshotAssign compiles a 24-hour snapshot of the learned inputs

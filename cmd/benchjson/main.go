@@ -7,7 +7,9 @@
 // Existing labels in the output file are preserved, so a "baseline"
 // section captured before a change survives later "after" runs. The
 // GOMAXPROCS suffix Go appends to benchmark names (e.g. "-8") is
-// stripped so results from different hosts share keys.
+// stripped so results from different hosts share keys. Custom
+// b.ReportMetric columns (e.g. "5946 pruned/op") are captured under
+// "<name>:<unit>" keys; -compare reports them but never gates on them.
 //
 // With -compare, benchjson reads no stdin and instead diffs two result
 // files (which may be the same file twice, holding both labels):
@@ -28,9 +30,18 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// metricCol matches one "<value> <unit>" column of a benchmark line.
+// Custom b.ReportMetric values follow ns/op (e.g. "5946 pruned/op") and
+// are stored under "<name>:<unit>" keys; the standard timing and memory
+// columns are excluded so -benchmem runs do not triple the key set.
+var metricCol = regexp.MustCompile(`([\d.eE+-]+) (\S+/(?:op|s))`)
+
+var standardUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true}
 
 // regressionTolerance is the relative slowdown -compare flags: an "after"
 // time more than 5% above its baseline is a regression.
@@ -77,6 +88,16 @@ func run(out, label string) error {
 			return fmt.Errorf("line %q: %w", sc.Text(), err)
 		}
 		results[m[1]] = ns
+		for _, mc := range metricCol.FindAllStringSubmatch(sc.Text(), -1) {
+			if standardUnits[mc[2]] {
+				continue
+			}
+			v, err := strconv.ParseFloat(mc[1], 64)
+			if err != nil {
+				return fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			results[m[1]+":"+mc[2]] = v
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -114,7 +135,11 @@ func run(out, label string) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Printf("%s: %s = %.0f ns/op\n", label, name, results[name])
+		unit := "ns/op"
+		if i := strings.Index(name, ":"); i >= 0 {
+			unit = name[i+1:]
+		}
+		fmt.Printf("%s: %s = %.0f %s\n", label, name, results[name], unit)
 	}
 	return nil
 }
@@ -175,6 +200,12 @@ func runCompare(basePath, afterPath, baseLabel, afterLabel string) (regressed bo
 	for _, name := range sorted {
 		b, inBase := base[name]
 		a, inAfter := after[name]
+		if strings.Contains(name, ":") {
+			// Custom metric, not a timing: direction of "better" is
+			// unknowable here, so report both sides and never gate.
+			fmt.Printf("%-44s baseline %12g, after %12g (metric, not compared)\n", name, b, a)
+			continue
+		}
 		switch {
 		case !inBase:
 			fmt.Printf("%-44s (no baseline)          after %12.0f ns/op\n", name, a)

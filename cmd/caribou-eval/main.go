@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"caribou/internal/eval"
+	"caribou/internal/runstore"
 	"caribou/internal/solver"
 	"caribou/internal/telemetry"
 	"caribou/internal/workloads"
@@ -42,6 +43,7 @@ func main() { os.Exit(realMain()) }
 // trace writes) runs before the process exits.
 func realMain() int {
 	quick := flag.Bool("quick", false, "reduced workload set and trace volume")
+	cacheDir := flag.String("cache-dir", "", "content-addressed run cache directory (see caribou-sweep); warm re-runs execute zero solver work")
 	plot := flag.Bool("plot", false, "also render terminal charts of the figure shapes")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
 	seed := flag.Int64("seed", 17, "experiment seed")
@@ -105,12 +107,30 @@ func realMain() int {
 	}
 
 	// One pool for the whole invocation: figures that share runs (e.g. the
-	// coarse home baselines) hit the memo instead of re-executing.
+	// coarse home baselines) hit the memo instead of re-executing. With
+	// -cache-dir the pool gains a durable tier: results persist across
+	// invocations, and a warm cache serves every run from disk with
+	// byte-identical stdout.
 	pool := eval.NewPool(*workers)
+	var store *runstore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = runstore.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caribou-eval: %v\n", err)
+			return 1
+		}
+		pool.AttachStore(store)
+	}
 	code := 0
 	if err := run(name, runOpts{quick: *quick, plot: *plot, csvDir: *csvDir, seed: *seed, pool: pool}); err != nil {
 		fmt.Fprintf(os.Stderr, "caribou-eval %s: %v\n", name, err)
 		code = 1
+	}
+	if store != nil {
+		ps := pool.Stats()
+		fmt.Fprintf(os.Stderr, "[cache: submitted=%d executed=%d memo=%d disk=%d writes=%d]\n",
+			ps.Submitted, ps.Executed, ps.Hits, ps.DiskHits, ps.DiskWrites)
 	}
 
 	// All diagnostics go to stderr or side files so stdout stays
@@ -168,7 +188,7 @@ func quickPerDay(quick bool) int {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] [-workers N] [-trace FILE] [-telemetry] [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: caribou-eval [-quick] [-seed N] [-workers N] [-cache-dir DIR] [-trace FILE] [-telemetry] [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 
 experiments:
   fig2    grid carbon intensity of the four evaluation regions

@@ -137,6 +137,13 @@ func TestWallclockClockSeam(t *testing.T) {
 	checkFixture(t, "wallclock_clockseam", "caribou/internal/controlplane")
 }
 
+// TestWallclockRunstoreSeam pins that internal/runstore is NOT
+// wallclock-exempt: lease timestamps must flow through the injected
+// runstore.Clock, and a bare time.Now in the package is a finding.
+func TestWallclockRunstoreSeam(t *testing.T) {
+	checkFixture(t, "wallclock_runstore", "caribou/internal/runstore")
+}
+
 func TestTapeRecordFixture(t *testing.T) {
 	checkFixture(t, "taperecord_bad", "caribou/internal/solver")
 }

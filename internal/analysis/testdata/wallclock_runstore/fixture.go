@@ -1,0 +1,28 @@
+// Fixture: the durable sweep engine's clock seam. Loaded as
+// caribou/internal/runstore (not wallclock-exempt): lease-expiry
+// decisions flow through the injected runstore.Clock, so calls on the
+// interface value are clean, while a bare time.Now in the store itself
+// remains a finding — the wall clock may enter only at the annotated
+// injection site in cmd/caribou-sweep.
+package fixture
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+type lock struct {
+	acquiredUnix int64
+	leaseSec     int64
+}
+
+// expired decides lease expiry purely through the seam: no findings.
+func (l lock) expired(clk clock) bool {
+	return clk.Now().Unix() >= l.acquiredUnix+l.leaseSec
+}
+
+// stamp bypasses the seam inside the store package: still a finding.
+func stamp() int64 {
+	return time.Now().Unix() // want wallclock "time.Now reads the wall clock"
+}

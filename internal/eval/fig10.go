@@ -38,10 +38,8 @@ type Fig10Options struct {
 	Pool *Pool
 }
 
-// Fig10 runs the tolerance sweep. The coarse home baseline is
-// scenario-independent, so the memo collapses it to one execution per
-// workload.
-func Fig10(opt Fig10Options) ([]Fig10Point, error) {
+// fig10Defaults fills unset options with the figure's full scale.
+func fig10Defaults(opt Fig10Options) Fig10Options {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = []*workloads.Workload{
 			workloads.DNAVisualization(),
@@ -54,10 +52,13 @@ func Fig10(opt Fig10Options) ([]Fig10Point, error) {
 	if len(opt.Tolerances) == 0 {
 		opt.Tolerances = []float64{0, 2.5, 5, 7.5, 10}
 	}
-	pool := opt.Pool.orDefault()
+	return opt
+}
 
-	// Per (workload, scenario): the home baseline followed by one fine
-	// run per tolerance.
+// fig10Configs enumerates the sweep's runs for already-defaulted options:
+// per (workload, scenario), the home baseline followed by one fine run
+// per tolerance.
+func fig10Configs(opt Fig10Options) []RunConfig {
 	var cfgs []RunConfig
 	for _, wl := range opt.Workloads {
 		for _, sc := range scenarios() {
@@ -83,7 +84,16 @@ func Fig10(opt Fig10Options) ([]Fig10Point, error) {
 			}
 		}
 	}
-	results, err := pool.RunAll(cfgs)
+	return cfgs
+}
+
+// Fig10 runs the tolerance sweep. The coarse home baseline is
+// scenario-independent, so the memo collapses it to one execution per
+// workload.
+func Fig10(opt Fig10Options) ([]Fig10Point, error) {
+	opt = fig10Defaults(opt)
+	pool := opt.Pool.orDefault()
+	results, err := pool.RunAll(fig10Configs(opt))
 	if err != nil {
 		return nil, fmt.Errorf("fig10: %w", err)
 	}

@@ -77,37 +77,36 @@ type Fig7Options struct {
 	Pool *Pool
 }
 
-// Fig7 runs the full geospatial-shifting comparison. The baseline of each
-// (workload, class, scenario) group is the coarse us-east-1 run accounted
-// under the same scenario. All runs of all groups execute concurrently on
-// the pool; coarse deployments do not depend on the planning scenario, so
-// each coarse strategy runs once per group and is re-accounted under both
-// transmission models.
-func Fig7(opt Fig7Options) ([]Fig7Row, error) {
+// fig7Defaults fills unset options with the figure's full scale.
+func fig7Defaults(opt Fig7Options) Fig7Options {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = workloads.All()
 	}
 	if len(opt.Classes) == 0 {
 		opt.Classes = workloads.Classes()
 	}
-	pool := opt.Pool.orDefault()
+	return opt
+}
 
-	type group struct {
-		wl    *workloads.Workload
-		class workloads.InputClass
-	}
-	var groups []group
+// fig7Group is one (workload, class) bar group.
+type fig7Group struct {
+	wl    *workloads.Workload
+	class workloads.InputClass
+}
+
+// fig7Plan enumerates the figure's runs for already-defaulted options:
+// one config per coarse strategy, one per (fine strategy, scenario); idx
+// maps (group, strategy, scenario) to its config slot. caribou-sweep's
+// fig7 preset expands the same plan, so a sweep-populated cache serves
+// the figure driver without executing.
+func fig7Plan(opt Fig7Options) (cfgs []RunConfig, idx map[[3]int]int, groups []fig7Group) {
 	for _, wl := range opt.Workloads {
 		for _, class := range opt.Classes {
-			groups = append(groups, group{wl, class})
+			groups = append(groups, fig7Group{wl, class})
 		}
 	}
-
-	// One config per coarse strategy, one per (fine strategy, scenario);
-	// idx maps (group, strategy, scenario) to its config slot.
 	strats, scens := Fig7Strategies(), scenarios()
-	var cfgs []RunConfig
-	idx := map[[3]int]int{}
+	idx = map[[3]int]int{}
 	for gi, g := range groups {
 		for si, strat := range strats {
 			if strat.Coarse != "" {
@@ -132,6 +131,20 @@ func Fig7(opt Fig7Options) ([]Fig7Row, error) {
 			}
 		}
 	}
+	return cfgs, idx, groups
+}
+
+// Fig7 runs the full geospatial-shifting comparison. The baseline of each
+// (workload, class, scenario) group is the coarse us-east-1 run accounted
+// under the same scenario. All runs of all groups execute concurrently on
+// the pool; coarse deployments do not depend on the planning scenario, so
+// each coarse strategy runs once per group and is re-accounted under both
+// transmission models.
+func Fig7(opt Fig7Options) ([]Fig7Row, error) {
+	opt = fig7Defaults(opt)
+	pool := opt.Pool.orDefault()
+	cfgs, idx, groups := fig7Plan(opt)
+	strats, scens := Fig7Strategies(), scenarios()
 	results, err := pool.RunAll(cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)

@@ -34,19 +34,20 @@ type Fig8Options struct {
 	Pool *Pool
 }
 
-// Fig8 runs home and fine(all) per combination and derives the scatter.
-// The home deployment is coarse and scenario-independent, so the memo
-// collapses it to one execution per (workload, class).
-func Fig8(opt Fig8Options) ([]Fig8Point, error) {
+// fig8Defaults fills unset options with the figure's full scale.
+func fig8Defaults(opt Fig8Options) Fig8Options {
 	if len(opt.Workloads) == 0 {
 		opt.Workloads = workloads.All()
 	}
 	if len(opt.Classes) == 0 {
 		opt.Classes = workloads.Classes()
 	}
-	pool := opt.Pool.orDefault()
+	return opt
+}
 
-	// Two configs per (workload, class, scenario): home then fine.
+// fig8Configs enumerates the figure's runs for already-defaulted options:
+// two configs per (workload, class, scenario), home then fine.
+func fig8Configs(opt Fig8Options) []RunConfig {
 	var cfgs []RunConfig
 	for _, wl := range opt.Workloads {
 		for _, class := range opt.Classes {
@@ -65,7 +66,16 @@ func Fig8(opt Fig8Options) ([]Fig8Point, error) {
 			}
 		}
 	}
-	results, err := pool.RunAll(cfgs)
+	return cfgs
+}
+
+// Fig8 runs home and fine(all) per combination and derives the scatter.
+// The home deployment is coarse and scenario-independent, so the memo
+// collapses it to one execution per (workload, class).
+func Fig8(opt Fig8Options) ([]Fig8Point, error) {
+	opt = fig8Defaults(opt)
+	pool := opt.Pool.orDefault()
+	results, err := pool.RunAll(fig8Configs(opt))
 	if err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}

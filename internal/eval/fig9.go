@@ -39,10 +39,8 @@ func DefaultFig9Factors() []float64 {
 	return []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
 }
 
-// Fig9 runs the sweep. For each (scenario, factor, class) the geometric
-// mean is over workloads of Caribou-fine carbon normalized to the home
-// deployment, both accounted under the swept factor model.
-func Fig9(opt Fig9Options) ([]Fig9Point, error) {
+// fig9Defaults fills unset options with the figure's full scale.
+func fig9Defaults(opt Fig9Options) Fig9Options {
 	if len(opt.Factors) == 0 {
 		opt.Factors = DefaultFig9Factors()
 	}
@@ -52,20 +50,27 @@ func Fig9(opt Fig9Options) ([]Fig9Point, error) {
 	if len(opt.Classes) == 0 {
 		opt.Classes = workloads.Classes()
 	}
-	models := []struct {
-		name string
-		mk   func(f float64) carbon.TransmissionModel
-	}{
+	return opt
+}
+
+// fig9Model is one factor structure of the sweep.
+type fig9Model struct {
+	name string
+	mk   func(f float64) carbon.TransmissionModel
+}
+
+func fig9Models() []fig9Model {
+	return []fig9Model{
 		{"equal", carbon.Uniform},
 		{"free-intra", carbon.FreeIntra},
 	}
-	pool := opt.Pool.orDefault()
+}
 
-	// Two configs per (model, class, factor, workload): home then fine.
-	// The home run is coarse, so the memo collapses the whole sweep's
-	// baselines to one execution per (workload, class).
+// fig9Configs enumerates the sweep's runs for already-defaulted options:
+// two configs per (model, class, factor, workload), home then fine.
+func fig9Configs(opt Fig9Options) []RunConfig {
 	var cfgs []RunConfig
-	for _, m := range models {
+	for _, m := range fig9Models() {
 		for _, class := range opt.Classes {
 			for _, f := range opt.Factors {
 				tx := m.mk(f)
@@ -85,7 +90,19 @@ func Fig9(opt Fig9Options) ([]Fig9Point, error) {
 			}
 		}
 	}
-	results, err := pool.RunAll(cfgs)
+	return cfgs
+}
+
+// Fig9 runs the sweep. For each (scenario, factor, class) the geometric
+// mean is over workloads of Caribou-fine carbon normalized to the home
+// deployment, both accounted under the swept factor model.
+func Fig9(opt Fig9Options) ([]Fig9Point, error) {
+	opt = fig9Defaults(opt)
+	models := fig9Models()
+	pool := opt.Pool.orDefault()
+	// The home run is coarse, so the memo collapses the whole sweep's
+	// baselines to one execution per (workload, class).
+	results, err := pool.RunAll(fig9Configs(opt))
 	if err != nil {
 		return nil, fmt.Errorf("fig9: %w", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"caribou/internal/region"
+	"caribou/internal/runstore"
 	"caribou/internal/solver"
 	"caribou/internal/telemetry"
 )
@@ -35,9 +36,16 @@ type Pool struct {
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 
-	submitted int
-	executed  int
-	hits      int
+	// store is the optional durable memo tier (AttachStore): misses in the
+	// in-memory memo consult it before executing, and fresh executions
+	// publish their results to it.
+	store *runstore.Store
+
+	submitted  int
+	executed   int
+	hits       int
+	diskHits   int
+	diskWrites int
 
 	tel poolTelemetry
 }
@@ -51,6 +59,8 @@ type poolTelemetry struct {
 	submitted  *telemetry.Counter
 	executed   *telemetry.Counter
 	memoHits   *telemetry.Counter
+	diskHits   *telemetry.Counter
+	diskWrites *telemetry.Counter
 	runSeconds *telemetry.Histogram
 }
 
@@ -61,6 +71,8 @@ func newPoolTelemetry() poolTelemetry {
 		submitted:  rec.Counter("pool.submitted"),
 		executed:   rec.Counter("pool.executed"),
 		memoHits:   rec.Counter("pool.memo_hits"),
+		diskHits:   rec.Counter("pool.disk_hits"),
+		diskWrites: rec.Counter("pool.disk_writes"),
 		runSeconds: rec.Histogram("pool.run_seconds", []float64{0.5, 1, 2, 5, 10, 30, 60, 120}),
 	}
 }
@@ -75,12 +87,17 @@ type memoEntry struct {
 }
 
 // PoolStats counts pool activity. Hits is the number of submissions
-// served from the memo (including waits on an in-flight duplicate):
-// Submitted == Executed + Hits once all submissions have returned.
+// served from the in-memory memo (including waits on an in-flight
+// duplicate); DiskHits counts memo misses served from the attached
+// durable store without executing: Submitted == Executed + Hits +
+// DiskHits once all submissions have returned, and a fully warm cache
+// shows Executed == 0.
 type PoolStats struct {
-	Submitted int
-	Executed  int
-	Hits      int
+	Submitted  int
+	Executed   int
+	Hits       int
+	DiskHits   int
+	DiskWrites int
 }
 
 // NewPool builds a runner executing at most workers runs concurrently;
@@ -108,11 +125,29 @@ func (p *Pool) orDefault() *Pool {
 // Workers reports the pool's concurrency bound.
 func (p *Pool) Workers() int { return cap(p.sem) }
 
+// AttachStore adds a durable memo tier: in-memory memo misses consult
+// the store (runstore.KeyOf of the canonical configuration, ResultSchema
+// payloads) before executing, and fresh executions publish their results
+// to it. Attach before submitting runs; a nil store detaches. The store
+// is best-effort — corrupt or unreadable blobs fall through to a normal
+// execution, and a failed publish never fails the run.
+func (p *Pool) AttachStore(s *runstore.Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store = s
+}
+
 // Stats snapshots the activity counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Submitted: p.submitted, Executed: p.executed, Hits: p.hits}
+	return PoolStats{
+		Submitted:  p.submitted,
+		Executed:   p.executed,
+		Hits:       p.hits,
+		DiskHits:   p.diskHits,
+		DiskWrites: p.diskWrites,
+	}
 }
 
 // Run executes cfg through the pool and blocks until its Result is
@@ -140,6 +175,25 @@ func (p *Pool) Run(cfg RunConfig) (*Result, error) {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
 		p.mu.Lock()
+		store := p.store
+		p.mu.Unlock()
+		// Durable tier: a valid blob under this key replaces the execution
+		// outright. A corrupt blob was already classified as a miss by the
+		// store; a blob that fails to decode (schema drift inside a valid
+		// frame) falls through to a recompute whose Put overwrites it.
+		if store != nil {
+			if payload, ok, _ := store.Get(runstore.KeyOf(key), ResultSchema); ok {
+				if res, derr := DecodeResult(cfg, payload); derr == nil {
+					p.mu.Lock()
+					p.diskHits++
+					p.mu.Unlock()
+					p.tel.diskHits.Inc()
+					e.res = res
+					return
+				}
+			}
+		}
+		p.mu.Lock()
 		p.executed++
 		p.mu.Unlock()
 		p.tel.executed.Inc()
@@ -160,6 +214,16 @@ func (p *Pool) Run(cfg RunConfig) (*Result, error) {
 			p.tel.runSeconds.Observe(time.Since(start).Seconds()) //caribou:allow wallclock times the real experiment run for the run_seconds histogram, not simulated time
 		}
 		sp.End()
+		if store != nil && e.err == nil {
+			if payload, perr := EncodeResult(cfg, e.res); perr == nil {
+				if store.Put(runstore.KeyOf(key), ResultSchema, payload) == nil {
+					p.mu.Lock()
+					p.diskWrites++
+					p.mu.Unlock()
+					p.tel.diskWrites.Inc()
+				}
+			}
+		}
 	})
 	return e.res, e.err
 }

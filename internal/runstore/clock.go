@@ -1,0 +1,21 @@
+package runstore
+
+import "time"
+
+// Clock is the store's injectable time source — the same determinism seam
+// the control plane uses (DESIGN.md "Control plane"). Blob content is
+// clock-free by construction (results are content-addressed by their run
+// configuration, never stamped); only the sweep shard-lock lease protocol
+// compares times, and it does so exclusively through this interface.
+// cmd/caribou-sweep injects the wall clock behind a single annotated
+// //caribou:allow wallclock site; tests inject a manual clock, which makes
+// every lease-expiry decision reproducible.
+type Clock interface {
+	Now() time.Time
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() time.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Time { return f() }

@@ -182,3 +182,45 @@ func VideoAnalytics() *Workload {
 func chunkName(i int) string {
 	return "recognize-" + string(rune('a'+i))
 }
+
+// HeavyTailAnalytics is a synthetic stress workload outside the Table 1
+// benchmark set: a log-analytics chain whose stage durations draw from
+// lognormals with very large sigmas (coefficient of variation ~2.5 on
+// the dominant stage, versus ~0.1 for the paper workflows). Monte Carlo
+// estimates over such draws converge slowly, so solver candidate lanes
+// are still open at batch boundaries and the exact bound-based pruning
+// path (montecarlo.pruned_candidates) actually exercises. All()
+// deliberately excludes it — figures and Table 1 remain the paper's five
+// workflows — but ByName resolves it for benches and sweep grids.
+func HeavyTailAnalytics() *Workload {
+	d := mustBuild(dag.NewBuilder("heavytail-analytics").
+		AddNode(dag.Node{ID: "collect", MemoryMB: 1024}).
+		AddNode(dag.Node{ID: "parse", MemoryMB: 1769}).
+		AddNode(dag.Node{ID: "analyze", MemoryMB: 3008}).
+		AddNode(dag.Node{ID: "report", MemoryMB: 1024}).
+		AddEdge("collect", "parse").
+		AddEdge("parse", "analyze").
+		AddEdge("analyze", "report"))
+	return &Workload{
+		Name:        "heavytail-analytics",
+		Description: "Synthetic heavy-tail log analytics chain stressing slow Monte Carlo convergence",
+		DAG:         d,
+		Nodes: map[dag.NodeID]NodeProfile{
+			"collect": {MeanDurationSec: map[InputClass]float64{Small: 0.8, Large: 2.4}, DurationSigma: 1.2, CPUUtil: 0.55, MemoryMB: 1024},
+			"parse":   {MeanDurationSec: map[InputClass]float64{Small: 2.5, Large: 7.5}, DurationSigma: 1.4, CPUUtil: 0.70, MemoryMB: 1769},
+			"analyze": {MeanDurationSec: map[InputClass]float64{Small: 6.0, Large: 18.0}, DurationSigma: 1.5, CPUUtil: 0.90, MemoryMB: 3008},
+			"report":  {MeanDurationSec: map[InputClass]float64{Small: 0.6, Large: 1.8}, DurationSigma: 1.2, CPUUtil: 0.50, MemoryMB: 1024},
+		},
+		EdgeBytes: map[EdgeKey]map[InputClass]float64{
+			{"collect", "parse"}:  {Small: 4 * mb, Large: 40 * mb},
+			{"parse", "analyze"}:  {Small: 2 * mb, Large: 20 * mb},
+			{"analyze", "report"}: {Small: 80 * kb, Large: 700 * kb},
+		},
+		EntryBytes: map[InputClass]float64{Small: 16 * kb, Large: 96 * kb},
+		OutputBytes: map[dag.NodeID]map[InputClass]float64{
+			"report": {Small: 120 * kb, Large: 1.1 * mb},
+		},
+		InputLabel: map[InputClass]string{Small: "1h logs", Large: "24h logs"},
+		ImageBytes: 450 * mb,
+	}
+}

@@ -158,15 +158,23 @@ func All() []*Workload {
 	}
 }
 
-// ByName returns the named workload.
+// Extras returns workloads resolvable by name but excluded from the
+// Table 1 set: synthetic stress workloads used by benches and sweep
+// grids, never by the figure drivers.
+func Extras() []*Workload {
+	return []*Workload{HeavyTailAnalytics()}
+}
+
+// ByName returns the named workload, searching Table 1 then Extras.
 func ByName(name string) (*Workload, error) {
-	for _, w := range All() {
+	all := append(All(), Extras()...)
+	for _, w := range all {
 		if w.Name == name {
 			return w, nil
 		}
 	}
 	var names []string
-	for _, w := range All() {
+	for _, w := range all {
 		names = append(names, w.Name)
 	}
 	sort.Strings(names)
