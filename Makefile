@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json bench-json-pr8 bench-json-pr9 sweep-clean verify eval-output
+.PHONY: all build test race vet lint bench bench-json bench-json-pr8 bench-json-pr9 bench-json-pr10 sweep-clean verify eval-output
 
 all: build
 
@@ -36,9 +36,20 @@ vet:
 # iteration), hotsprintf (no Sprintf/concat in montecarlo/solver/stats
 # loops), goroutines (go statements only in the approved concurrency
 # packages), taperecord (no tapeStep/tapeEdge AoS literals outside
-# internal/montecarlo). Suppress an individual finding with
-# //caribou:allow <check> <reason> — the reason is mandatory.
-# See DESIGN.md "Static analysis".
+# internal/montecarlo), dettaint (no exported solver/montecarlo/eval/
+# controlplane function may transitively reach a wallclock or
+# global-rand sink — the chain is printed), hotalloc (no closure
+# literals, interface boxing, fmt calls, or grow-in-loop appends in the
+# montecarlo tape/delta/batch/bounds and solver HBSS hot files), and
+# atomicpub (values published via atomic.Pointer.Store are
+# write-complete at publish; shard-owned controlplane state mutates
+# only inside its owning worker). Suppress an individual finding with
+# //caribou:allow <check> <reason> — the reason is mandatory and a
+# suppression that no longer matches a finding is itself a diagnostic.
+# Results are cached under .caribou-cache/lint/ keyed by source and
+# import hashes, so warm runs are sub-second and byte-identical to cold
+# runs; -cache off disables, -cache DIR relocates. See DESIGN.md
+# "Static analysis" and "Static analysis v2".
 lint:
 	$(GO) run ./cmd/caribou-lint ./...
 
@@ -107,6 +118,19 @@ bench-json-pr9:
 	cat .bench/pr9-shard1.out .bench/pr9-shard2.out | $(GO) run ./cmd/benchjson -out BENCH_PR9.json -label $(LABEL)
 	$(GO) test -run xxx -bench 'BenchmarkSolver24HourlyHeavyTail$$' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR9.json -label $(LABEL)
+
+# bench-json-pr10 times the lint driver's cache: caribou-lint -bench
+# wipes a scratch cache, runs the full module cold (type-checking every
+# package), re-runs it warm (every package served from the on-disk
+# summary cache, zero type-checks), asserts the two outputs are
+# byte-identical, and prints both timings as benchmark lines, which
+# merge into BENCH_PR10.json. The warm run must be >=3x faster than the
+# cold run; in practice it is two orders of magnitude faster. Numbers
+# are host-dependent; re-run on an idle machine before comparing.
+bench-json-pr10:
+	@mkdir -p .bench
+	$(GO) run ./cmd/caribou-lint -bench -cache .bench/pr10-lint-cache . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR10.json -label $(LABEL)
 
 # sweep-clean removes the durable run caches: the default store
 # caribou-eval -cache-dir and caribou-sweep write to, plus the scratch

@@ -4,30 +4,47 @@
 //	file:line: [check] message
 //
 // or, with -json, as a JSON array of {file, line, col, check, message}.
-// It exits 0 when clean, 1 on findings, 2 on load or usage errors.
+// Output is sorted by (file, line, column, check) in both modes and is
+// byte-identical between cold and cached runs. It exits 0 when clean, 1
+// on findings, 2 on load or usage errors.
 //
 // Usage:
 //
-//	caribou-lint [-json] [dir]
+//	caribou-lint [-json] [-cache dir|off] [-workers n] [-stats] [dir]
+//	caribou-lint -bench [dir]
 //
 // dir defaults to the current directory; the nearest enclosing go.mod
 // determines the module. "./..." is accepted as an alias for "." so the
-// invocation reads like the other go tools. Suppress an individual
-// finding with a trailing (or immediately preceding) comment
+// invocation reads like the other go tools.
+//
+// Per-package results (raw findings, allow comments, and the fact
+// summaries the module-level analyzers consume) are cached under
+// .caribou-cache/lint/ at the module root, keyed by a hash of the
+// package's sources and its module imports' keys, so warm runs skip
+// type-checking entirely. -cache off disables the cache; -cache DIR
+// relocates it.
+//
+// -bench wipes the cache, times a cold run, times a warm run, asserts
+// the two outputs are byte-identical, and prints the pair in go-bench
+// format for cmd/benchjson.
+//
+// Suppress an individual finding with a trailing (or immediately
+// preceding) comment
 //
 //	//caribou:allow <check> <reason>
 //
 // where the reason is mandatory — an allow without one is itself a
-// finding. See DESIGN.md "Static analysis" for what each check enforces
-// and why.
+// finding, and so is an allow that no longer suppresses anything. See
+// DESIGN.md "Static analysis v2" for what each check enforces and why.
 package main
 
 import (
-	"encoding/json"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"caribou/internal/analysis"
 )
@@ -38,8 +55,12 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	cacheFlag := flag.String("cache", "", "lint cache directory; \"off\" disables (default <module>/.caribou-cache/lint)")
+	workers := flag.Int("workers", 0, "concurrent type-check/analyze jobs (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "report package/cache/timing stats to stderr")
+	bench := flag.Bool("bench", false, "time a cold and a warm run, assert identical output, print go-bench lines")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: caribou-lint [-json] [dir]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: caribou-lint [-json] [-cache dir|off] [-workers n] [-stats] [-bench] [dir]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,42 +78,38 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
 		return 2
 	}
-	pkgs, err := analysis.LoadModule(root)
+	cacheDir := ""
+	switch *cacheFlag {
+	case "off":
+	case "":
+		cacheDir = filepath.Join(root, ".caribou-cache", "lint")
+	default:
+		cacheDir = *cacheFlag
+	}
+	opts := analysis.RunOptions{CacheDir: cacheDir, Workers: *workers}
+
+	if *bench {
+		return runBench(root, opts, *jsonOut)
+	}
+
+	start := time.Now() //caribou:allow wallclock times the lint tool itself for -stats, nothing simulated
+	diags, rs, err := analysis.Run(root, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
 		return 2
 	}
-	diags := analysis.Lint(pkgs, analysis.Analyzers())
-
-	if *jsonOut {
-		type finding struct {
-			File    string `json:"file"`
-			Line    int    `json:"line"`
-			Col     int    `json:"col"`
-			Check   string `json:"check"`
-			Message string `json:"message"`
-		}
-		out := make([]finding, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, finding{
-				File:    relPath(root, d.Pos.Filename),
-				Line:    d.Pos.Line,
-				Col:     d.Pos.Column,
-				Check:   d.Check,
-				Message: d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
-			return 2
-		}
-	} else {
-		for _, d := range diags {
-			fmt.Printf("%s:%d: [%s] %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Check, d.Message)
-		}
+	if *stats {
+		elapsed := time.Since(start) //caribou:allow wallclock times the lint tool itself for -stats, nothing simulated
+		fmt.Fprintf(os.Stderr, "caribou-lint: %d packages, %d cached, %d analyzed, %d type-checked in %v\n",
+			rs.Packages, rs.CacheHits, rs.CacheMisses, rs.TypeChecked, elapsed.Round(time.Millisecond))
 	}
+
+	out, err := render(root, diags, *jsonOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-lint: %v\n", err)
+		return 2
+	}
+	os.Stdout.Write(out)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "caribou-lint: %d finding(s)\n", len(diags))
 		return 1
@@ -100,11 +117,56 @@ func run() int {
 	return 0
 }
 
-// relPath renders file relative to the module root when possible, so
-// diagnostics are stable across machines.
-func relPath(root, file string) string {
-	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
-		return rel
+func render(root string, diags []analysis.Diagnostic, jsonOut bool) ([]byte, error) {
+	if jsonOut {
+		return analysis.FormatJSON(root, diags)
 	}
-	return file
+	return analysis.FormatText(root, diags), nil
+}
+
+// runBench is the timing harness behind make bench-json-pr10: one cold
+// run (cache wiped first), one warm run, a byte-identity assertion
+// between them, and two go-bench lines on stdout for cmd/benchjson.
+func runBench(root string, opts analysis.RunOptions, jsonOut bool) int {
+	if opts.CacheDir == "" {
+		fmt.Fprintln(os.Stderr, "caribou-lint: -bench requires the cache (do not pass -cache off)")
+		return 2
+	}
+	if err := os.RemoveAll(opts.CacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-lint: wiping cache: %v\n", err)
+		return 2
+	}
+	timeRun := func() ([]byte, analysis.RunStats, time.Duration, error) {
+		start := time.Now() //caribou:allow wallclock the cold/warm benchmark measures real lint latency
+		diags, rs, err := analysis.Run(root, opts)
+		elapsed := time.Since(start) //caribou:allow wallclock the cold/warm benchmark measures real lint latency
+		if err != nil {
+			return nil, rs, elapsed, err
+		}
+		out, err := render(root, diags, jsonOut)
+		return out, rs, elapsed, err
+	}
+	coldOut, coldStats, cold, err := timeRun()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-lint: cold run: %v\n", err)
+		return 2
+	}
+	warmOut, warmStats, warm, err := timeRun()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caribou-lint: warm run: %v\n", err)
+		return 2
+	}
+	if !bytes.Equal(coldOut, warmOut) {
+		fmt.Fprintf(os.Stderr, "caribou-lint: cold and warm outputs differ (%d vs %d bytes)\n", len(coldOut), len(warmOut))
+		return 2
+	}
+	if warmStats.TypeChecked != 0 {
+		fmt.Fprintf(os.Stderr, "caribou-lint: warm run type-checked %d package(s); cache is not serving\n", warmStats.TypeChecked)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "caribou-lint: cold %v (%d analyzed), warm %v (%d cached), outputs identical (%d bytes)\n",
+		cold.Round(time.Millisecond), coldStats.CacheMisses, warm.Round(time.Millisecond), warmStats.CacheHits, len(coldOut))
+	fmt.Printf("BenchmarkLintCold 1 %d ns/op\n", cold.Nanoseconds())
+	fmt.Printf("BenchmarkLintWarm 1 %d ns/op\n", warm.Nanoseconds())
+	return 0
 }

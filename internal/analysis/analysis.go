@@ -1,24 +1,36 @@
 // Package analysis is the repo's in-tree static analyzer framework: a
-// small harness over the standard library's go/ast, go/parser, and
-// go/types (source importer — no x/tools dependency) that encodes the
-// determinism and telemetry invariants the dynamic parity tests assume.
+// harness over the standard library's go/ast, go/parser, and go/types
+// (source importer — no x/tools dependency) that encodes the determinism
+// and telemetry invariants the dynamic parity tests assume.
 //
 // Every figure in this reproduction must be byte-identical across worker
 // counts, telemetry on/off, and taped vs untaped Monte Carlo paths. The
 // analyzers turn the rules that make that possible — simulated time only,
 // derived RNG streams only, no output from unsorted map iteration, no
-// formatting in sampling-loop hot paths, goroutines only where the
-// determinism audit expects them — into machine-checked diagnostics, so
+// formatting or allocation in sampling-loop hot paths, goroutines only
+// where the determinism audit expects them, atomically published values
+// never mutated after publication — into machine-checked diagnostics, so
 // the invariants survive refactoring instead of living in reviewers'
 // heads.
+//
+// v2 adds a whole-module layer: per-package analyzers inspect one
+// type-checked package at a time, while module analyzers (dettaint,
+// atomicpub's ownership rule) run over a conservative call graph built
+// from per-package fact summaries (summary.go) — static call edges plus
+// name-and-signature method-set matching for interface dispatch. The
+// summaries are JSON-serializable, which is what lets the cached driver
+// (driver.go) skip type-checking entirely on warm runs and still produce
+// byte-identical output.
 //
 // A finding can be suppressed with a trailing or preceding comment
 //
 //	//caribou:allow <check> <reason>
 //
 // where the reason is mandatory: an allow comment without one is itself
-// a diagnostic (check "allow"). See cmd/caribou-lint for the driver and
-// DESIGN.md "Static analysis" for the rationale behind each check.
+// a diagnostic (check "allow"), and so is a well-formed allow that
+// suppresses nothing — burn-downs cannot leave dead annotations behind.
+// See cmd/caribou-lint for the driver and DESIGN.md "Static analysis v2"
+// for the rationale behind each check.
 package analysis
 
 import (
@@ -33,17 +45,19 @@ import (
 // human-readable message. The driver renders it as
 // "file:line: [check] message".
 type Diagnostic struct {
-	Pos     token.Position
-	Check   string
-	Message string
+	Pos     token.Position `json:"pos"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
 }
 
 // Analyzer is one named check. Run inspects a single type-checked
-// package and reports findings through the Pass.
+// package; RunModule inspects the whole module through its fact
+// summaries. Either may be nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass hands one analyzer one package. Reportf attaches the analyzer's
@@ -68,9 +82,53 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass hands one module analyzer the whole module: every package's
+// fact summary, in import-path order. Positions are plain
+// token.Positions (summaries carry no FileSet — warm cache runs never
+// construct one).
+type ModulePass struct {
+	Units []*PkgUnit
+
+	check  string
+	out    *[]Diagnostic
+	allows *allowIndex
+}
+
+// Reportf records a module-level finding at pos.
+func (mp *ModulePass) Reportf(pos token.Position, format string, args ...any) {
+	*mp.out = append(*mp.out, Diagnostic{
+		Pos:     pos,
+		Check:   mp.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// SiteSanctioned reports whether a well-formed //caribou:allow comment
+// for the pass's check covers (file, line) — same line or the line above
+// — and marks it used. Module analyzers use this to let an annotation at
+// a *source site* (e.g. a sanctioned clock seam) stop fact propagation,
+// not just suppress a finding.
+func (mp *ModulePass) SiteSanctioned(file string, line int) bool {
+	return mp.allows.use(mp.check, file, line)
+}
+
+// PkgUnit is the cacheable per-package analysis result: the raw
+// (pre-suppression) findings of every per-package analyzer, the parsed
+// allow comments, the malformed-allow diagnostics, and the fact summary
+// the module phase consumes. The cached driver serializes this struct
+// verbatim; Finish recombines units into final output identically
+// whether they were just computed or decoded from disk.
+type PkgUnit struct {
+	Path       string         `json:"path"`
+	Raw        []Diagnostic   `json:"raw,omitempty"`
+	AllowDiags []Diagnostic   `json:"allow_diags,omitempty"`
+	Allows     []AllowComment `json:"allows,omitempty"`
+	Summary    *PkgSummary    `json:"summary"`
+}
+
 // Analyzers returns the full suite in a fixed order. The "allow" check
-// (malformed suppression comments) is implemented by Lint itself, not
-// listed here, but its name is reserved — see ValidChecks.
+// (malformed and stale suppression comments) is implemented by Finish
+// itself, not listed here, but its name is reserved — see ValidChecks.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		WallclockAnalyzer,
@@ -79,6 +137,9 @@ func Analyzers() []*Analyzer {
 		HotSprintfAnalyzer,
 		GoroutinesAnalyzer,
 		TapeRecordAnalyzer,
+		DetTaintAnalyzer,
+		HotAllocAnalyzer,
+		AtomicPubAnalyzer,
 	}
 }
 
@@ -92,42 +153,91 @@ func ValidChecks(analyzers []*Analyzer) map[string]bool {
 	return valid
 }
 
-// Lint runs every analyzer over every package, applies //caribou:allow
-// suppressions, appends diagnostics for malformed allow comments, and
-// returns the surviving findings sorted by file, line, column, check.
-func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:    pkg.Fset,
-				Files:   pkg.Files,
-				PkgPath: pkg.Path,
-				Pkg:     pkg.Types,
-				Info:    pkg.Info,
-				check:   a.Name,
-				out:     &raw,
-			}
-			a.Run(pass)
+// AnalyzePackage runs every per-package analyzer over pkg and builds its
+// fact summary. Raw findings are sorted into canonical order so the
+// result — and its cached serialization — is deterministic regardless of
+// analyzer-internal map iteration.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer) *PkgUnit {
+	unit := &PkgUnit{Path: pkg.Path}
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
 		}
+		pass := &Pass{
+			Fset:    pkg.Fset,
+			Files:   pkg.Files,
+			PkgPath: pkg.Path,
+			Pkg:     pkg.Types,
+			Info:    pkg.Info,
+			check:   a.Name,
+			out:     &unit.Raw,
+		}
+		a.Run(pass)
+	}
+	allows, diags := collectAllows(pkg.Fset, pkg.Files, ValidChecks(analyzers))
+	unit.Allows = allows
+	unit.AllowDiags = diags
+	unit.Summary = BuildSummary(pkg)
+	sortDiagnostics(unit.Raw)
+	sortDiagnostics(unit.AllowDiags)
+	return unit
+}
+
+// Finish combines per-package units into the final diagnostic list: it
+// runs the module analyzers over the summaries, applies //caribou:allow
+// suppressions, reports malformed and stale allow comments, and returns
+// everything sorted by (file, line, column, check). Unit order does not
+// matter — Finish sorts them by path first — so cold, warm, and
+// mixed-cache runs produce identical bytes.
+func Finish(units []*PkgUnit, analyzers []*Analyzer) []Diagnostic {
+	units = append([]*PkgUnit(nil), units...)
+	sort.Slice(units, func(i, j int) bool { return units[i].Path < units[j].Path })
+
+	allows := newAllowIndex(units)
+
+	var raw []Diagnostic
+	for _, u := range units {
+		raw = append(raw, u.Raw...)
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Units: units, check: a.Name, out: &raw, allows: allows}
+		a.RunModule(mp)
 	}
 
-	valid := ValidChecks(analyzers)
-	var allows []allowComment
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		a, diags := collectAllows(pkg.Fset, pkg.Files, valid)
-		allows = append(allows, a...)
-		out = append(out, diags...)
+	for _, u := range units {
+		out = append(out, u.AllowDiags...)
 	}
 	for _, d := range raw {
-		if !suppressed(d, allows) {
+		if !allows.use(d.Check, d.Pos.Filename, d.Pos.Line) {
 			out = append(out, d)
 		}
 	}
+	out = append(out, allows.stale()...)
 
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sortDiagnostics(out)
+	return out
+}
+
+// Lint runs the full suite — per-package analyzers, module analyzers,
+// suppression, allow validation — over the given packages and returns
+// the surviving findings in canonical order.
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	units := make([]*PkgUnit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		units = append(units, AnalyzePackage(pkg, analyzers))
+	}
+	return Finish(units, analyzers)
+}
+
+// sortDiagnostics orders diagnostics by (file, line, column, check,
+// message) — the canonical output order pinned by the golden test.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -137,9 +247,11 @@ func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 // pathIn reports whether pkgPath is path itself or a package under it.

@@ -216,3 +216,34 @@ func TestAllowCommentValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestDetTaintFixture(t *testing.T) {
+	checkFixture(t, "dettaint_bad", "caribou/internal/solver")
+}
+
+func TestDetTaintNegativeCases(t *testing.T) {
+	checkFixture(t, "dettaint_ok", "caribou/internal/solver")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkFixture(t, "hotalloc_bad", "caribou/internal/montecarlo")
+}
+
+func TestHotAllocNegativeCases(t *testing.T) {
+	checkFixture(t, "hotalloc_ok", "caribou/internal/montecarlo")
+}
+
+func TestAtomicPubFixture(t *testing.T) {
+	checkFixture(t, "atomicpub_bad", "caribou/internal/controlplane")
+}
+
+func TestAtomicPubNegativeCases(t *testing.T) {
+	checkFixture(t, "atomicpub_ok", "caribou/internal/controlplane")
+}
+
+// TestStaleAllowFixture pins the stale-suppression meta-check: an allow
+// covering no finding is itself an "allow" diagnostic, while an allow
+// that still suppresses one stays silent.
+func TestStaleAllowFixture(t *testing.T) {
+	checkFixture(t, "allow_stale", "caribou/internal/metrics")
+}

@@ -1,0 +1,524 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// driver.go is the whole-module lint runner behind cmd/caribou-lint: it
+// discovers the module's packages, type-checks and analyzes them
+// concurrently in dependency order, and memoizes each package's PkgUnit
+// on disk keyed by a content hash of its sources and the keys of its
+// module imports. A warm run therefore parses nothing but import lines
+// and type-checks nothing at all; the module phase (dettaint, shard
+// ownership) is recomputed from the cached summaries every run — it is
+// cheap, and caching it per package would be unsound because interface
+// dispatch draws edges the import graph does not have.
+
+// cacheSchemaVersion invalidates every cache entry when the on-disk
+// PkgUnit shape or any analyzer's semantics change. Bump it with the PR
+// number whenever either does.
+const cacheSchemaVersion = "caribou-lint-cache-v10"
+
+// RunOptions configures a driver run.
+type RunOptions struct {
+	// CacheDir persists per-package results; empty disables caching.
+	CacheDir string
+	// Workers caps concurrent type-check/analyze jobs; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// RunStats reports what a run did, for -stats output and the cache
+// tests.
+type RunStats struct {
+	Packages    int // module packages discovered
+	CacheHits   int // packages whose PkgUnit came from disk
+	CacheMisses int // packages analyzed fresh
+	TypeChecked int // packages type-checked (misses + deps of misses)
+}
+
+// Run lints the module rooted at root and returns its diagnostics in
+// canonical order. Output is byte-identical whether every package was
+// analyzed fresh, served from cache, or a mix: cached PkgUnits are the
+// same sorted structures AnalyzePackage produces, and Finish is the
+// single merge point for all three cases.
+func Run(root string, opts RunOptions) ([]Diagnostic, RunStats, error) {
+	var stats RunStats
+	metas, err := discoverModule(root)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Packages = len(metas)
+	analyzers := Analyzers()
+
+	byPath := make(map[string]*pkgMeta, len(metas))
+	for _, m := range metas {
+		byPath[m.path] = m
+	}
+	ordered, err := topoOrder(metas, byPath)
+	if err != nil {
+		return nil, stats, err
+	}
+	computeKeys(ordered, byPath)
+
+	units := make(map[string]*PkgUnit, len(ordered))
+	if opts.CacheDir != "" {
+		for _, m := range ordered {
+			if u := loadCacheEntry(opts.CacheDir, m); u != nil {
+				units[m.path] = u
+				stats.CacheHits++
+			}
+		}
+	}
+
+	// A miss forces type-checking of the package and — transitively — of
+	// every module import, cache hit or not: checking needs dependency
+	// *types.Packages, which the cache deliberately does not store.
+	needed := map[string]bool{}
+	var mark func(path string)
+	mark = func(path string) {
+		if needed[path] {
+			return
+		}
+		needed[path] = true
+		for _, imp := range byPath[path].modImports {
+			mark(imp)
+		}
+	}
+	for _, m := range ordered {
+		if units[m.path] == nil {
+			mark(m.path)
+		}
+	}
+
+	fresh, err := checkAndAnalyze(ordered, byPath, needed, units, analyzers, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.TypeChecked = len(needed)
+	stats.CacheMisses = fresh
+
+	all := make([]*PkgUnit, 0, len(ordered))
+	for _, m := range ordered {
+		u := units[m.path]
+		if u == nil {
+			return nil, stats, fmt.Errorf("analysis: no result for %s", m.path)
+		}
+		all = append(all, u)
+	}
+	return Finish(all, analyzers), stats, nil
+}
+
+// pkgMeta is one discovered package before type-checking: its files,
+// their content hashes, and its module-internal imports — everything the
+// cache key needs, gathered with imports-only parsing.
+type pkgMeta struct {
+	path       string
+	dir        string
+	fileNames  []string // sorted base names
+	fileHashes []string // hex, aligned with fileNames
+	modImports []string // sorted module-internal import paths
+	key        string   // content-hash cache key, hex
+}
+
+// discoverModule walks the module tree collecting package metadata. The
+// walk mirrors LoadModule's: testdata, vendor, and dot/underscore
+// directories are skipped, test files excluded.
+func discoverModule(root string) ([]*pkgMeta, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	var metas []*pkgMeta
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		m := &pkgMeta{path: pkgPath, dir: dir}
+		imports := map[string]bool{}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			full := filepath.Join(dir, name)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			sum := sha256.Sum256(data)
+			m.fileNames = append(m.fileNames, name)
+			m.fileHashes = append(m.fileHashes, hex.EncodeToString(sum[:]))
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					imports[ip] = true
+				}
+			}
+		}
+		if len(m.fileNames) == 0 {
+			continue
+		}
+		for ip := range imports {
+			m.modImports = append(m.modImports, ip)
+		}
+		sort.Strings(m.modImports)
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// topoOrder sorts metas so every package follows its module imports,
+// failing loudly on cycles.
+func topoOrder(metas []*pkgMeta, byPath map[string]*pkgMeta) ([]*pkgMeta, error) {
+	var ordered []*pkgMeta
+	state := make(map[string]int, len(metas)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		m, ok := byPath[path]
+		if !ok || state[path] == 2 {
+			return nil
+		}
+		if state[path] == 1 {
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = 1
+		for _, imp := range m.modImports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		ordered = append(ordered, m)
+		return nil
+	}
+	for _, m := range metas {
+		if err := visit(m.path); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// computeKeys derives each package's cache key over (schema version, Go
+// toolchain version — which pins the stdlib the source importer
+// compiles, import path, file names and content hashes, and the keys of
+// its module imports, recursively). ordered is topological, so import
+// keys are always ready.
+func computeKeys(ordered []*pkgMeta, byPath map[string]*pkgMeta) {
+	for _, m := range ordered {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n%s\n%s\n", cacheSchemaVersion, runtime.Version(), m.path)
+		for i, name := range m.fileNames {
+			fmt.Fprintf(h, "%s:%s\n", name, m.fileHashes[i])
+		}
+		for _, imp := range m.modImports {
+			fmt.Fprintf(h, "%s=%s\n", imp, byPath[imp].key)
+		}
+		m.key = hex.EncodeToString(h.Sum(nil))
+	}
+}
+
+// cacheEntry is the on-disk format: the package path double-checks
+// against hash collisions across moves, the unit is the verbatim
+// AnalyzePackage result.
+type cacheEntry struct {
+	Path string   `json:"path"`
+	Unit *PkgUnit `json:"unit"`
+}
+
+func cacheEntryPath(cacheDir string, m *pkgMeta) string {
+	return filepath.Join(cacheDir, m.key[:2], m.key+".json")
+}
+
+// loadCacheEntry returns the cached unit for m, or nil on any miss or
+// decode failure (a corrupt entry is just a miss; the rewrite heals it).
+func loadCacheEntry(cacheDir string, m *pkgMeta) *PkgUnit {
+	data, err := os.ReadFile(cacheEntryPath(cacheDir, m))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Path != m.path || e.Unit == nil || e.Unit.Summary == nil {
+		return nil
+	}
+	return e.Unit
+}
+
+// storeCacheEntry persists a freshly analyzed unit, atomically via
+// rename so concurrent runs never observe torn entries. Failures are
+// deliberately silent: the cache is an accelerator, not a correctness
+// dependency.
+func storeCacheEntry(cacheDir string, m *pkgMeta, unit *PkgUnit) {
+	path := cacheEntryPath(cacheDir, m)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Path: m.path, Unit: unit})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "entry-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	if os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// checkAndAnalyze type-checks the needed packages concurrently in
+// dependency order — a package starts as soon as its last module import
+// finishes — analyzing and caching the ones whose units are missing.
+// Returns how many were analyzed fresh.
+func checkAndAnalyze(ordered []*pkgMeta, byPath map[string]*pkgMeta, needed map[string]bool,
+	units map[string]*PkgUnit, analyzers []*Analyzer, opts RunOptions) (int, error) {
+
+	type job struct {
+		meta       *pkgMeta
+		pending    atomic.Int32 // unfinished needed module imports
+		dependents []*job
+	}
+	jobs := make(map[string]*job, len(needed))
+	var all []*job
+	for _, m := range ordered {
+		if !needed[m.path] {
+			continue
+		}
+		j := &job{meta: m}
+		jobs[m.path] = j
+		all = append(all, j)
+	}
+	for _, j := range all {
+		for _, imp := range j.meta.modImports {
+			if dep, ok := jobs[imp]; ok {
+				j.pending.Add(1)
+				dep.dependents = append(dep.dependents, j)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return 0, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+
+	// Shared type-check state: the FileSet is documented
+	// goroutine-safe; the source importer is not, so stdlib imports
+	// serialize on its mutex (each stdlib package compiles once and is
+	// served from the importer's cache afterwards). Checked module
+	// packages live in done, immutable once published.
+	fset := token.NewFileSet()
+	imp := &lockedImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		done: make(map[string]*types.Package, len(all)),
+	}
+
+	ready := make(chan *job, len(all))
+	for _, j := range all {
+		if j.pending.Load() == 0 {
+			ready <- j
+		}
+	}
+	var remaining atomic.Int32
+	remaining.Store(int32(len(all)))
+	var fresh atomic.Int32
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//caribou:allow goroutines lint worker pool: units merge by package path in Finish, so output is order-independent
+		go func() {
+			defer wg.Done()
+			for j := range ready {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				var err error
+				if !failed {
+					var analyzed bool
+					analyzed, err = processJob(j.meta, fset, imp, units, analyzers, opts, &mu)
+					if analyzed {
+						fresh.Add(1)
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+				for _, d := range j.dependents {
+					if d.pending.Add(-1) == 0 {
+						ready <- d
+					}
+				}
+				if remaining.Add(-1) == 0 {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(fresh.Load()), firstErr
+}
+
+// processJob parses, type-checks, and (if its unit is missing) analyzes
+// one package. units is guarded by mu; the checked package is published
+// through the importer for dependents.
+func processJob(m *pkgMeta, fset *token.FileSet, imp *lockedImporter,
+	units map[string]*PkgUnit, analyzers []*Analyzer, opts RunOptions, mu *sync.Mutex) (bool, error) {
+
+	pkg, err := checkPackage(m, fset, imp)
+	if err != nil {
+		return false, err
+	}
+	imp.publish(m.path, pkg.Types)
+
+	mu.Lock()
+	have := units[m.path] != nil
+	mu.Unlock()
+	if have {
+		return false, nil
+	}
+	unit := AnalyzePackage(pkg, analyzers)
+	mu.Lock()
+	units[m.path] = unit
+	mu.Unlock()
+	if opts.CacheDir != "" {
+		storeCacheEntry(opts.CacheDir, m, unit)
+	}
+	return true, nil
+}
+
+// checkPackage parses m's files in full and type-checks them.
+func checkPackage(m *pkgMeta, fset *token.FileSet, imp types.Importer) (*Package, error) {
+	if len(m.fileNames) == 0 {
+		return nil, fmt.Errorf("%w: %s", errNoFiles, m.path)
+	}
+	files := make([]*ast.File, 0, len(m.fileNames))
+	for _, name := range m.fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(m.dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(m.path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", m.path, err)
+	}
+	return &Package{Path: m.path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// lockedImporter resolves module-internal imports from the packages this
+// run already checked and everything else through the mutex-guarded
+// source importer.
+type lockedImporter struct {
+	mu   sync.Mutex
+	std  types.Importer
+	dmu  sync.RWMutex
+	done map[string]*types.Package
+}
+
+func (l *lockedImporter) publish(path string, pkg *types.Package) {
+	l.dmu.Lock()
+	l.done[path] = pkg
+	l.dmu.Unlock()
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.dmu.RLock()
+	p, ok := l.done[path]
+	l.dmu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.std.Import(path)
+}
+
+var errNoFiles = errors.New("analysis: package has no files")

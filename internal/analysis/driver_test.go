@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintmodDir is the seeded golden module: one wallclock call two levels
+// below an exported solver function (dettaint + wallclock), one
+// post-Store mutation in controlplane (atomicpub), and one stale allow
+// (allow) — the three regressions the acceptance criteria require the
+// suite to turn red on.
+const lintmodDir = "testdata/lintmod"
+
+func lintmodRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(lintmodDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestDriverGoldenOutput pins both output modes byte-for-byte. Any
+// change to diagnostic ordering, message wording, or formatting shows up
+// here as a conscious golden update.
+func TestDriverGoldenOutput(t *testing.T) {
+	root := lintmodRoot(t)
+	diags, stats, err := Run(root, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packages != 3 {
+		t.Fatalf("discovered %d packages, want 3", stats.Packages)
+	}
+
+	text := FormatText(root, diags)
+	goldenText, err := os.ReadFile(filepath.Join(lintmodDir, "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text, goldenText) {
+		t.Errorf("text output differs from golden.txt:\ngot:\n%s\nwant:\n%s", text, goldenText)
+	}
+
+	jsonOut, err := FormatJSON(root, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenJSON, err := os.ReadFile(filepath.Join(lintmodDir, "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonOut, goldenJSON) {
+		t.Errorf("json output differs from golden.json:\ngot:\n%s\nwant:\n%s", jsonOut, goldenJSON)
+	}
+}
+
+// TestDriverColdWarmByteIdentical is the cache contract: a warm run
+// type-checks nothing, serves every package from disk, and produces the
+// exact bytes of the cold run in both output modes.
+func TestDriverColdWarmByteIdentical(t *testing.T) {
+	root := lintmodRoot(t)
+	opts := RunOptions{CacheDir: t.TempDir()}
+
+	cold, coldStats, err := Run(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheMisses != coldStats.Packages || coldStats.CacheHits != 0 {
+		t.Fatalf("cold run: %d misses, %d hits over %d packages; want all misses",
+			coldStats.CacheMisses, coldStats.CacheHits, coldStats.Packages)
+	}
+
+	warm, warmStats, err := Run(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.CacheHits != warmStats.Packages || warmStats.TypeChecked != 0 || warmStats.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d typechecked=%d over %d packages; want all hits, zero work",
+			warmStats.CacheHits, warmStats.CacheMisses, warmStats.TypeChecked, warmStats.Packages)
+	}
+
+	if !bytes.Equal(FormatText(root, cold), FormatText(root, warm)) {
+		t.Error("cold and warm text outputs differ")
+	}
+	cj, err := FormatJSON(root, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := FormatJSON(root, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cj, wj) {
+		t.Error("cold and warm JSON outputs differ")
+	}
+}
+
+// TestDriverCacheInvalidation edits a cached package and checks the
+// cache notices: the edited package re-analyzes, its new finding
+// appears, and untouched packages still serve from cache.
+func TestDriverCacheInvalidation(t *testing.T) {
+	root := t.TempDir()
+	copyTree(t, lintmodRoot(t), root)
+	opts := RunOptions{CacheDir: t.TempDir()}
+
+	before, _, err := Run(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := filepath.Join(root, "internal", "metrics", "metrics.go")
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = append(src, []byte("\nfunc leak() map[string]int { return map[string]int{\"a\": 1} }\n")...)
+	src = append(src, []byte("\nfunc drain(m map[string]int) int {\n\ttotal := 0\n\tfor _, v := range m {\n\t\ttotal += v\n\t}\n\treturn total\n}\n")...)
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	after, stats, err := Run(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses != 1 || stats.CacheHits != stats.Packages-1 {
+		t.Errorf("after edit: misses=%d hits=%d over %d packages; want exactly the edited package re-analyzed",
+			stats.CacheMisses, stats.CacheHits, stats.Packages)
+	}
+	if len(after) != len(before) {
+		t.Errorf("edit changed finding count %d -> %d; the added code should lint identically", len(before), len(after))
+	}
+}
+
+// TestDriverMatchesLoadModule pins that the parallel cached driver and
+// the serial loader agree on the whole real repo — and that the repo is
+// clean under all nine checks through the driver path too.
+func TestDriverMatchesLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module twice")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driverDiags, stats, err := Run(root, RunOptions{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packages == 0 {
+		t.Fatal("driver discovered no packages")
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaderDiags := Lint(pkgs, Analyzers())
+
+	dt := FormatText(root, driverDiags)
+	lt := FormatText(root, loaderDiags)
+	if !bytes.Equal(dt, lt) {
+		t.Errorf("driver and loader disagree:\ndriver:\n%s\nloader:\n%s", dt, lt)
+	}
+	if len(driverDiags) != 0 {
+		t.Errorf("repo is not lint-clean through the driver:\n%s", dt)
+	}
+}
+
+func copyTree(t *testing.T, from, to string) {
+	t.Helper()
+	err := filepath.Walk(from, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(from, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(to, rel)
+		if info.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,498 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// summary.go builds the per-package fact summaries the module-level
+// analyzers (dettaint, atomicpub's ownership rule) consume. A summary is
+// deliberately self-contained and JSON-serializable: the cached lint
+// driver (driver.go) stores it next to the package's raw diagnostics, so
+// a warm run can re-run the whole-module propagation phase without
+// type-checking a single package. Cold and warm runs therefore flow
+// through the identical data structure, which is what makes their output
+// byte-identical.
+
+// PkgSummary is the module-analysis fact base extracted from one
+// type-checked package.
+type PkgSummary struct {
+	Path    string      `json:"path"`
+	Funcs   []FuncSum   `json:"funcs,omitempty"`
+	Methods []MethodSum `json:"methods,omitempty"`
+}
+
+// FuncSum summarizes one function or method body.
+type FuncSum struct {
+	// ID is the stable identity used for call-graph edges:
+	// types.Func.FullName(), e.g. "caribou/internal/solver.assignKey" or
+	// "(*caribou/internal/solver.search).solveHBSS".
+	ID string `json:"id"`
+	// Name is the short display form used in printed taint chains, e.g.
+	// "Solve" or "(*search).solveHBSS".
+	Name     string `json:"name"`
+	Exported bool   `json:"exported,omitempty"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+
+	// Calls lists the module functions this body references — calls and
+	// bare function-value references alike (a reference can be invoked
+	// later, so treating it as an edge is the conservative choice).
+	Calls []string `json:"calls,omitempty"`
+	// Dyn lists interface-method call sites; the module phase resolves
+	// each against every module method with the same name and signature.
+	Dyn []DynCall `json:"dyn,omitempty"`
+	// Sinks lists direct wallclock/global-rand uses in the body.
+	Sinks []SinkSum `json:"sinks,omitempty"`
+
+	// OwnedRecv marks methods of a shard-owned type (atomicpub): the
+	// owned type's key, e.g. "caribou/internal/controlplane.Tenant".
+	OwnedRecv string `json:"owned_recv,omitempty"`
+	// Ctor marks the owned type's constructor (newT/NewT returning it);
+	// constructors may mutate freely — the value is not shared yet.
+	Ctor string `json:"ctor,omitempty"`
+	// OwnedWrites lists direct field writes to shard-owned state.
+	OwnedWrites []OwnedWrite `json:"owned_writes,omitempty"`
+	// OwnedCalls lists calls of shard-owned types' methods, with the
+	// syntactic worker-loop context (closure passed to shard submit).
+	OwnedCalls []OwnedCall `json:"owned_calls,omitempty"`
+}
+
+// DynCall is one interface-dispatch call site: method name plus the
+// receiver-stripped signature string.
+type DynCall struct {
+	Method string `json:"method"`
+	Sig    string `json:"sig"`
+}
+
+// MethodSum is one concrete method in a named type's method set, indexed
+// by the module phase to resolve DynCalls.
+type MethodSum struct {
+	Method string `json:"method"`
+	Sig    string `json:"sig"`
+	FuncID string `json:"func_id"`
+}
+
+// SinkSum is one direct use of a wall-clock or global-rand function.
+type SinkSum struct {
+	Desc string `json:"desc"` // e.g. "time.Now", "rand.Intn"
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// OwnedWrite is one direct field write to a shard-owned type.
+type OwnedWrite struct {
+	Type      string `json:"type"` // owned type key
+	Expr      string `json:"expr"` // e.g. "Tenant.deltas"
+	ViaSubmit bool   `json:"via_submit,omitempty"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+}
+
+// OwnedCall is one call of a shard-owned type's method.
+type OwnedCall struct {
+	Type      string `json:"type"`
+	Method    string `json:"method"`
+	ViaSubmit bool   `json:"via_submit,omitempty"` // lexically inside a closure passed to a shard submit
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+}
+
+// shardOwnedTypes registers the control-plane state whose mutation is
+// pinned to one shard worker goroutine (DESIGN.md "Control plane"):
+// every write must happen on the owning worker, so writes and mutator
+// calls outside the worker loop are atomicpub findings.
+var shardOwnedTypes = map[string]bool{
+	"caribou/internal/controlplane.Tenant": true,
+}
+
+// BuildSummary extracts the module-analysis facts from one type-checked
+// package. Traversal follows declaration order file by file, so the
+// summary — and everything derived from it — is deterministic.
+func BuildSummary(pkg *Package) *PkgSummary {
+	sum := &PkgSummary{Path: pkg.Path}
+	modPath := modulePrefix(pkg.Path)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				sum.Funcs = append(sum.Funcs, buildFuncSum(pkg, modPath, d))
+				if d.Recv != nil {
+					if ms, ok := buildMethodSum(pkg, d); ok {
+						sum.Methods = append(sum.Methods, ms)
+					}
+				}
+			case *ast.GenDecl:
+				if fs, ok := buildVarInitSum(pkg, modPath, d); ok {
+					sum.Funcs = append(sum.Funcs, fs)
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// modulePrefix derives the module root segment from an import path:
+// everything up to the first slash ("caribou/internal/solver" →
+// "caribou"). Functions from packages under the same root are module
+// functions; everything else is assumed stdlib.
+func modulePrefix(pkgPath string) string {
+	if i := strings.IndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}
+
+// funcID returns the stable cross-package identity of fn.
+func funcID(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// sigString renders a signature without its receiver, qualifying named
+// types by full package path so the string is position-independent.
+func sigString(sig *types.Signature) string {
+	q := func(p *types.Package) string { return p.Path() }
+	var b strings.Builder
+	b.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Params().At(i).Type(), q))
+	}
+	b.WriteByte(')')
+	b.WriteByte('(')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(types.TypeString(sig.Results().At(i).Type(), q))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// displayName renders the short form of a declared function for chains.
+func displayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	recv := d.Recv.List[0].Type
+	base, ptr := recvBase(recv)
+	if base == "" {
+		return d.Name.Name
+	}
+	if ptr {
+		return "(*" + base + ")." + d.Name.Name
+	}
+	return "(" + base + ")." + d.Name.Name
+}
+
+// recvBase extracts the receiver's base type name and pointer-ness.
+func recvBase(expr ast.Expr) (string, bool) {
+	ptr := false
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			ptr = true
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name, ptr
+		default:
+			return "", ptr
+		}
+	}
+}
+
+// exportedFunc reports whether d is part of the package's exported
+// surface: exported name, and for methods an exported receiver base type.
+func exportedFunc(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		base, _ := recvBase(d.Recv.List[0].Type)
+		if base != "" && !ast.IsExported(base) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildMethodSum indexes one concrete method declaration for interface
+// dispatch resolution.
+func buildMethodSum(pkg *Package, d *ast.FuncDecl) (MethodSum, bool) {
+	fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return MethodSum{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return MethodSum{}, false
+	}
+	return MethodSum{Method: fn.Name(), Sig: sigString(sig), FuncID: funcID(fn)}, true
+}
+
+// buildFuncSum summarizes one function declaration.
+func buildFuncSum(pkg *Package, modPath string, d *ast.FuncDecl) FuncSum {
+	pos := pkg.Fset.Position(d.Name.Pos())
+	fs := FuncSum{
+		Name:     displayName(d),
+		Exported: exportedFunc(d),
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+	}
+	if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+		fs.ID = funcID(fn)
+	} else {
+		fs.ID = pkg.Path + "." + d.Name.Name
+	}
+	if owned, ctor := ownedCtor(pkg, d); ctor {
+		fs.Ctor = owned
+	}
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		if key := ownedTypeKey(pkg.Info.TypeOf(d.Recv.List[0].Type)); key != "" {
+			fs.OwnedRecv = key
+		}
+	}
+	if d.Body != nil {
+		summarizeBody(pkg, modPath, d.Body, &fs)
+	}
+	return fs
+}
+
+// buildVarInitSum attributes package-level variable initializers to a
+// synthetic "<pkg>.init" node so a sink in an initializer of a target
+// package is reported rather than silently dropped (the initializer runs
+// in every importer's process).
+func buildVarInitSum(pkg *Package, modPath string, d *ast.GenDecl) (FuncSum, bool) {
+	if d.Tok != token.VAR {
+		return FuncSum{}, false
+	}
+	pos := pkg.Fset.Position(d.Pos())
+	fs := FuncSum{
+		ID:       pkg.Path + ".init:" + filepath.Base(pos.Filename),
+		Name:     "package initializer",
+		Exported: true,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+	}
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			summarizeBody(pkg, modPath, v, &fs)
+		}
+	}
+	if len(fs.Calls) == 0 && len(fs.Dyn) == 0 && len(fs.Sinks) == 0 &&
+		len(fs.OwnedWrites) == 0 && len(fs.OwnedCalls) == 0 {
+		return FuncSum{}, false
+	}
+	return fs, true
+}
+
+// summarizeBody walks one body (or initializer expression) collecting
+// call edges, sinks, and owned-state facts into fs.
+func summarizeBody(pkg *Package, modPath string, body ast.Node, fs *FuncSum) {
+	info := pkg.Info
+	calls := map[string]bool{}
+	submitRanges := submitClosureRanges(info, body)
+	inSubmit := func(pos token.Pos) bool {
+		for _, r := range submitRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			fn, ok := info.Uses[e].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case sinkDesc(fn) != "":
+				p := pkg.Fset.Position(e.Pos())
+				fs.Sinks = append(fs.Sinks, SinkSum{Desc: sinkDesc(fn), File: p.Filename, Line: p.Line, Col: p.Column})
+			case fn.Pkg().Path() == modPath || strings.HasPrefix(fn.Pkg().Path(), modPath+"/"):
+				calls[funcID(fn)] = true
+			}
+		case *ast.CallExpr:
+			summarizeCall(pkg, e, fs, inSubmit)
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				recordOwnedWrite(pkg, lhs, fs, inSubmit)
+			}
+		case *ast.IncDecStmt:
+			recordOwnedWrite(pkg, e.X, fs, inSubmit)
+		}
+		return true
+	})
+	for id := range calls {
+		fs.Calls = append(fs.Calls, id)
+	}
+	sort.Strings(fs.Calls)
+}
+
+// sinkDesc classifies fn as a determinism sink: a wall-clock time
+// function or a math/rand package function. Empty means not a sink.
+func sinkDesc(fn *types.Func) string {
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallclockFuncs[fn.Name()] {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return ""
+}
+
+// summarizeCall records dynamic-dispatch and owned-method call facts for
+// one call expression.
+func summarizeCall(pkg *Package, call *ast.CallExpr, fs *FuncSum, inSubmit func(token.Pos) bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if types.IsInterface(sig.Recv().Type()) {
+		fs.Dyn = append(fs.Dyn, DynCall{Method: fn.Name(), Sig: sigString(sig)})
+		return
+	}
+	if key := ownedTypeKey(sig.Recv().Type()); key != "" {
+		p := pkg.Fset.Position(call.Pos())
+		fs.OwnedCalls = append(fs.OwnedCalls, OwnedCall{
+			Type: key, Method: fn.Name(), ViaSubmit: inSubmit(call.Pos()),
+			File: p.Filename, Line: p.Line, Col: p.Column,
+		})
+	}
+}
+
+// recordOwnedWrite records a direct field write to a shard-owned type:
+// the written expression's root is a selector whose receiver (after
+// pointer unwrap) is an owned type.
+func recordOwnedWrite(pkg *Package, lhs ast.Expr, fs *FuncSum, inSubmit func(token.Pos) bool) {
+	// Unwrap index/star layers: t.field[i] = v and *t.ptrField = v both
+	// mutate owned state.
+	expr := ast.Unparen(lhs)
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = ast.Unparen(e.X)
+			continue
+		case *ast.StarExpr:
+			expr = ast.Unparen(e.X)
+			continue
+		}
+		break
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key := ownedTypeKey(pkg.Info.TypeOf(sel.X))
+	if key == "" {
+		return
+	}
+	p := pkg.Fset.Position(lhs.Pos())
+	short := key[strings.LastIndexByte(key, '.')+1:]
+	fs.OwnedWrites = append(fs.OwnedWrites, OwnedWrite{
+		Type: key, Expr: short + "." + sel.Sel.Name, ViaSubmit: inSubmit(lhs.Pos()),
+		File: p.Filename, Line: p.Line, Col: p.Column,
+	})
+}
+
+// ownedTypeKey resolves t (possibly a pointer) to a registered
+// shard-owned type key, or "".
+func ownedTypeKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !shardOwnedTypes[key] {
+		return ""
+	}
+	return key
+}
+
+// ownedCtor reports whether d constructs a shard-owned type: a
+// new*/New*-named function whose results include the owned type. The
+// constructor owns the value exclusively until it returns, so its
+// mutations are exempt from the worker-loop rule.
+func ownedCtor(pkg *Package, d *ast.FuncDecl) (string, bool) {
+	if d.Recv != nil || d.Type.Results == nil {
+		return "", false
+	}
+	if !strings.HasPrefix(d.Name.Name, "new") && !strings.HasPrefix(d.Name.Name, "New") {
+		return "", false
+	}
+	for _, r := range d.Type.Results.List {
+		if key := ownedTypeKey(pkg.Info.TypeOf(r.Type)); key != "" {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+// submitClosureRanges finds the source ranges of function literals passed
+// directly to a shard submit call — the syntactic marker that the closure
+// body runs on the owning worker goroutine.
+func submitClosureRanges(info *types.Info, body ast.Node) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "submit" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				ranges = append(ranges, [2]token.Pos{lit.Pos(), lit.End()})
+			}
+		}
+		return true
+	})
+	return ranges
+}

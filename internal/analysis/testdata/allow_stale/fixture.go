@@ -1,0 +1,21 @@
+// Fixture: stale suppression detection (loaded as
+// caribou/internal/metrics). A well-formed //caribou:allow that
+// suppresses nothing is itself a finding, so burn-downs cannot leave
+// dead annotations behind; an allow that still suppresses something
+// stays silent.
+package metrics
+
+import "time"
+
+// staleAfterFix shows the failure mode: the wallclock call this allow
+// once covered was fixed, the annotation was forgotten.
+func staleAfterFix() int {
+	//caribou:allow wallclock the call this covered is long gone // want allow "stale suppression"
+	return 42
+}
+
+// stillUsed keeps a live suppression: no stale diagnostic, and the
+// wallclock finding stays suppressed.
+func stillUsed() int64 {
+	return time.Now().UnixNano() //caribou:allow wallclock fixture: real-experiment timing probe
+}

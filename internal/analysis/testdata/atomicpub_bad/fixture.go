@@ -1,0 +1,50 @@
+// Fixture: publication-discipline violations (loaded as
+// caribou/internal/controlplane, so the Tenant type below is the
+// registered shard-owned type).
+package controlplane
+
+import "sync/atomic"
+
+type snapshot struct {
+	version int
+	plans   []string
+}
+
+type latch struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// publishThenPatch mutates the snapshot after Store: readers already
+// share it lock-free.
+func publishThenPatch(l *latch, plans []string) {
+	snap := &snapshot{plans: plans}
+	l.cur.Store(snap)
+	snap.version = 2 // want atomicpub "snap is mutated after being published"
+}
+
+// patchLoaded mutates a snapshot obtained from Load: it is shared with
+// the publisher and every other reader.
+func patchLoaded(l *latch) {
+	cur := l.cur.Load()
+	cur.version++ // want atomicpub "cur was obtained from atomic.Pointer.Load"
+}
+
+// Tenant matches the shard-owned registry entry for this package.
+type Tenant struct {
+	deltas int
+}
+
+func (t *Tenant) bump() {
+	t.deltas++
+}
+
+// pokeDirect writes shard-owned state from outside any worker loop.
+func pokeDirect(t *Tenant) {
+	t.deltas = 0 // want atomicpub "shard-owned Tenant is written"
+}
+
+// pokeViaMutator reaches the same state through a mutating method
+// without going through the shard's submit loop.
+func pokeViaMutator(t *Tenant) {
+	t.bump() // want atomicpub "mutator Tenant.bump of shard-owned state is called outside"
+}

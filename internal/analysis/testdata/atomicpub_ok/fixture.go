@@ -1,0 +1,81 @@
+// Fixture: publication-discipline negative and suppressed cases (loaded
+// as caribou/internal/controlplane; Tenant is the registered shard-owned
+// type).
+package controlplane
+
+import "sync/atomic"
+
+type snapshot struct {
+	version int
+	plans   []string
+}
+
+type latch struct {
+	cur atomic.Pointer[snapshot]
+}
+
+// buildThenPublish is the discipline the analyzer enforces: every write
+// lands before Store, and republishing means building a fresh value.
+func buildThenPublish(l *latch, plans []string) {
+	snap := &snapshot{plans: plans}
+	snap.version = 1
+	l.cur.Store(snap)
+
+	next := &snapshot{plans: plans, version: snap.version + 1}
+	l.cur.Store(next)
+}
+
+// readLoaded reads a loaded snapshot without mutating it.
+func readLoaded(l *latch) int {
+	cur := l.cur.Load()
+	if cur == nil {
+		return 0
+	}
+	return cur.version
+}
+
+// Tenant matches the shard-owned registry entry for this package.
+type Tenant struct {
+	deltas int
+	closed bool
+}
+
+func (t *Tenant) bump() {
+	t.deltas++ // owned method: mutation on the owning worker's behalf
+}
+
+func (t *Tenant) snapshotDeltas() int {
+	return t.deltas // reader, not a mutator: callable from anywhere
+}
+
+// newTenant is the constructor: it owns the value exclusively until it
+// returns, so its writes are exempt.
+func newTenant() *Tenant {
+	t := &Tenant{}
+	t.deltas = 0
+	t.bump()
+	return t
+}
+
+type shard struct{}
+
+func (s *shard) submit(fn func()) { fn() }
+
+// viaWorker routes the mutation through the shard's submit loop — the
+// sanctioned path.
+func viaWorker(s *shard, t *Tenant) {
+	s.submit(func() {
+		t.bump()
+		t.deltas = 7
+	})
+}
+
+// readAnywhere calls a non-mutating method outside the worker loop.
+func readAnywhere(t *Tenant) int {
+	return t.snapshotDeltas()
+}
+
+// drainSanctioned documents a reviewed exception with a reasoned allow.
+func drainSanctioned(t *Tenant) {
+	t.closed = true //caribou:allow atomicpub fixture: shutdown path runs after every worker has quiesced
+}

@@ -1,0 +1,48 @@
+// Fixture: interprocedural determinism taint in a target package
+// (loaded as caribou/internal/solver). The exported entry points never
+// touch the clock or the global RNG themselves — the sinks hide two
+// frames down and behind an interface — which is exactly the hole the
+// per-site wallclock/globalrand checks cannot see.
+package solver
+
+import (
+	"math/rand" // want globalrand "import of math/rand"
+	"time"
+)
+
+// Solve is tainted through a two-level static call chain. The sink's own
+// wallclock finding is suppressed with an allow — dettaint must fire
+// anyway: suppressing the syntactic diagnostic does not sanction the
+// seam.
+func Solve() int64 { // want dettaint "exported Solve reaches time.Now"
+	return helper()
+}
+
+func helper() int64 {
+	return tick()
+}
+
+func tick() int64 {
+	return time.Now().UnixNano() //caribou:allow wallclock fixture: annotated helper must still taint its exported callers
+}
+
+// sampler is dispatched through an interface, so no static call edge
+// reaches the sink; the method-set approximation must supply the edge.
+type sampler interface {
+	sample(n int) int
+}
+
+// Search reaches the global RNG via interface dispatch.
+func Search(s sampler) int { // want dettaint "exported Search reaches rand.Intn"
+	return s.sample(10)
+}
+
+type randSampler struct{}
+
+func (randSampler) sample(n int) int {
+	return rand.Intn(n) // want globalrand "call of rand.Intn"
+}
+
+// NewSearcher hands callers a concrete sampler so the dispatch edge is
+// live.
+func NewSearcher() sampler { return randSampler{} }

@@ -1,0 +1,56 @@
+// Fixture: hotalloc negative and suppressed cases in a registered hot
+// file (loaded as caribou/internal/montecarlo).
+package montecarlo
+
+import "fmt"
+
+func sum(f func(float64) float64, samples []float64) float64 {
+	total := 0.0
+	for _, s := range samples {
+		total += f(s)
+	}
+	return total
+}
+
+func replayPrealloc(samples []float64) []float64 {
+	// Preallocated capacity: append never regrows.
+	out := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		out = append(out, s*2)
+	}
+	return out
+}
+
+func replayReuse(buf []byte, samples []float64) []byte {
+	// buf arrives from the caller (unknown provenance) and is reset with
+	// a [:0] re-slice — the reuse idiom, not regrowth.
+	for range samples {
+		buf = append(buf[:0], 'x')
+	}
+	return buf
+}
+
+func replayFresh(samples []float64) int {
+	n := 0
+	for range samples {
+		// Declared inside the loop: fresh each iteration, not regrowth.
+		local := []int{}
+		local = append(local, 1)
+		n += len(local)
+	}
+	return n
+}
+
+func replayHoisted(samples []float64) float64 {
+	// Closure hoisted out of the loop: allocated once.
+	double := func(s float64) float64 { return s * 2 }
+	return sum(double, samples)
+}
+
+func replayDiag(samples []float64) {
+	for i := range samples {
+		if i == 0 {
+			fmt.Println("replay diagnostics enabled") //caribou:allow hotalloc fixture: one-shot diagnostic guarded to the first iteration
+		}
+	}
+}

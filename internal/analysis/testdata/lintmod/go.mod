@@ -1,0 +1,3 @@
+module caribou
+
+go 1.22

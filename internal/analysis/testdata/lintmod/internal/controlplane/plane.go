@@ -1,0 +1,20 @@
+// Package controlplane seeds the acceptance-criteria violation for
+// atomicpub: a mutation of a snapshot after it was published via
+// atomic.Pointer.Store.
+package controlplane
+
+import "sync/atomic"
+
+type planSnapshot struct {
+	version int
+}
+
+type tenantState struct {
+	plan atomic.Pointer[planSnapshot]
+}
+
+func publish(t *tenantState, version int) {
+	snap := &planSnapshot{}
+	t.plan.Store(snap)
+	snap.version = version
+}

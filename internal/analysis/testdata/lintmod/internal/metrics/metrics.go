@@ -1,0 +1,11 @@
+// Package metrics seeds the acceptance-criteria violation for the
+// "allow" meta-check: a suppression left behind after the finding it
+// covered was fixed.
+package metrics
+
+// Observe once read the wall clock; the fix landed, the allow did not
+// leave with it.
+func Observe(v float64) float64 {
+	//caribou:allow wallclock times the scrape loop
+	return v
+}

@@ -468,8 +468,8 @@ func (s *Snapshot) EstimateBatchDelta(base *Estimate, baseAssign []int, assigns 
 	// incumbent's estimate; lanes that cannot resume (entry-node cone,
 	// anchor unavailable) replay in full together; the rest group by their
 	// resume boundary so each group shares one checkpoint restore.
-	var pending []*batchLane
-	var full []*batchLane
+	pending := make([]*batchLane, 0, len(lanes))
+	full := make([]*batchLane, 0, len(lanes))
 	for _, ln := range lanes {
 		fInc := coneBoundary(s.firstUse, baseAssign, ln.assign)
 		switch {
